@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's index:
+it measures the relevant operation with pytest-benchmark *and* emits the
+experiment's table via :func:`record_table`, which both prints it and
+writes ``benchmarks/results/<name>.md`` so EXPERIMENTS.md can embed the
+artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.analysis import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    notes: str = "",
+) -> str:
+    """Render, print and persist one experiment table."""
+    table = format_table(headers, rows)
+    text = f"## {title}\n\n{table}\n"
+    if notes:
+        text += f"\n{notes}\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n{text}")
+    return table

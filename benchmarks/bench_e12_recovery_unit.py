@@ -1,0 +1,104 @@
+"""E12 (extension): the unit of recovery (Introduction's third unit).
+
+Claim tested: "The unit of recovery could be anywhere in between; one
+would probably not want to roll back very long transactions, but might
+want to roll back beyond a unit of atomicity."  The engine's
+``recovery="segment"`` mode rolls a victim back only to the latest
+declared breakpoint before its invalidated step, replaying the surviving
+prefix from the recorded results instead of redoing its work.
+
+Measured shape (a *negative result* that vindicates the paper's caution):
+correctness is identical in both modes (every run correctable, audit
+exact) and segment recovery does preserve performed steps — but rolling
+back only to the nearest breakpoint re-enters the *same* conflict
+pattern, so under stable contention it triggers more recovery events and
+more total work than whole-transaction restart, whose from-scratch
+re-execution re-randomises the interleaving.  Exactly why the paper says
+one "might want to roll back beyond a unit of atomicity."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import mean
+from repro.core import check_correctability
+from repro.engine import MLADetectScheduler
+from repro.workloads import BankingConfig, BankingWorkload
+
+SEEDS = range(8)
+
+
+def workload() -> BankingWorkload:
+    return BankingWorkload(BankingConfig(
+        families=2,
+        accounts_per_family=2,
+        transfers=8,
+        intra_family_ratio=1.0,
+        bank_audits=1,
+        creditor_audits=0,
+        seed=3,
+    ))
+
+
+@pytest.mark.parametrize("recovery", ["transaction", "segment"])
+def test_e12_recovery_benchmark(benchmark, recovery):
+    bank = workload()
+    benchmark.group = "E12 recovery unit"
+    benchmark(
+        lambda: bank.engine(
+            MLADetectScheduler(bank.nest), seed=0, recovery=recovery
+        ).run()
+    )
+
+
+def test_e12_recovery_table():
+    bank = workload()
+    rows = []
+    preserved_by = {}
+    for recovery in ("transaction", "segment"):
+        restarts, partials, preserved, undone, ticks = [], [], [], [], []
+        for seed in SEEDS:
+            result = bank.engine(
+                MLADetectScheduler(bank.nest), seed=seed, recovery=recovery
+            ).run()
+            metrics = result.metrics
+            restarts.append(metrics.restarts)
+            partials.append(metrics.partial_rollbacks)
+            preserved.append(metrics.steps_preserved)
+            undone.append(metrics.steps_undone)
+            ticks.append(metrics.ticks)
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+            assert result.results["audit0"] == bank.grand_total
+        preserved_by[recovery] = mean(preserved)
+        rows.append([
+            recovery,
+            f"{mean(restarts):.1f}",
+            f"{mean(partials):.1f}",
+            f"{mean(preserved):.1f}",
+            f"{mean(undone):.1f}",
+            f"{mean(ticks):.0f}",
+        ])
+    # Segment recovery must genuinely preserve work per event ...
+    assert preserved_by["segment"] > preserved_by["transaction"]
+    record_table(
+        "e12_recovery_unit",
+        "E12: whole-transaction vs segment recovery under cycle detection",
+        ["recovery unit", "full restarts", "partial rollbacks",
+         "steps preserved", "steps undone", "batch ticks"],
+        rows,
+        notes=(
+            "Same workload, same scheduler; segment recovery rolls back "
+            "only to the latest breakpoint before the invalidated step "
+            "and replays the surviving prefix from recorded results.  "
+            "Correctness (Theorem 2 + audit exactness) holds identically "
+            f"in both modes across {len(list(SEEDS))} seeds.  Negative "
+            "result: minimal rollback re-enters the same conflicts, so it "
+            "costs more recovery events overall — the paper's 'roll back "
+            "beyond a unit of atomicity' caution, quantified."
+        ),
+    )

@@ -1,0 +1,113 @@
+"""E13 (extension): multilevel atomicity via nested-style locking.
+
+Question tested (Section 7, left open by the paper): "It remains to see
+whether implementation of multilevel atomicity as a special case of the
+nested transaction model provides reasonable efficiency."
+
+Our answer, in three parts:
+
+1. *Mostly yes*: breakpoint-released entity locks (the nested-2PL idea
+   specialised to k-nests) enforce the criterion on direct conflicts at
+   plain lock-table cost — across randomised banking runs the closure
+   certification layer never fires.
+2. *But the discipline is provably incomplete*: a deterministic
+   three-transaction chain (see ``tests/engine/test_nested_lock.py``)
+   slips an uncorrectable schedule past every per-entity check; the
+   closure's rule (b) is inherently transitive.
+3. *Hybrid wins*: locks for admission plus closure certification for
+   safety is cheaper per step than full closure prevention while giving
+   the same guarantee.
+
+Expected shape: zero certification failures on random workloads;
+nested-lock completes batches in fewer ticks than closure-based
+prevention; every certified run correctable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import mean
+from repro.core import check_correctability
+from repro.engine import MLAPreventScheduler, NestedLockScheduler, TwoPhaseLockingScheduler
+from repro.workloads import BankingConfig, BankingWorkload
+
+SEEDS = range(8)
+
+
+def workload() -> BankingWorkload:
+    return BankingWorkload(BankingConfig(
+        families=2,
+        accounts_per_family=4,
+        transfers=8,
+        intra_family_ratio=1.0,
+        bank_audits=1,
+        creditor_audits=0,
+        seed=5,
+    ))
+
+
+def test_e13_nested_lock_benchmark(benchmark):
+    bank = workload()
+    benchmark(
+        lambda: bank.engine(NestedLockScheduler(bank.nest), seed=0).run()
+    )
+
+
+def test_e13_comparison_table():
+    bank = workload()
+    schedulers = [
+        ("2pl (serializability)", lambda: TwoPhaseLockingScheduler()),
+        ("mla-prevent (closure)", lambda: MLAPreventScheduler(bank.nest)),
+        ("mla-nested-lock", lambda: NestedLockScheduler(bank.nest)),
+        (
+            "mla-nested-lock (uncertified)",
+            lambda: NestedLockScheduler(bank.nest, certify=False),
+        ),
+    ]
+    rows = []
+    cert_failures_total = 0
+    for label, factory in schedulers:
+        ticks, waits, aborts, correct = [], [], [], 0
+        closure_checks = []
+        for seed in SEEDS:
+            scheduler = factory()
+            result = bank.engine(scheduler, seed=seed).run()
+            ticks.append(result.metrics.ticks)
+            waits.append(result.metrics.waits)
+            aborts.append(result.metrics.aborts)
+            closure_checks.append(result.metrics.closure_checks)
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            correct += report.correctable
+            if isinstance(scheduler, NestedLockScheduler):
+                cert_failures_total += scheduler.certification_failures
+        rows.append([
+            label,
+            f"{mean(ticks):.0f}",
+            f"{mean(waits):.0f}",
+            f"{mean(aborts):.1f}",
+            f"{mean(closure_checks):.0f}",
+            f"{correct}/{len(list(SEEDS))}",
+        ])
+    assert cert_failures_total == 0, (
+        "random banking runs should not trip certification"
+    )
+    record_table(
+        "e13_nested_locking",
+        "E13: nested-style locking vs closure-based prevention",
+        ["scheduler", "ticks", "waits", "aborts", "closure checks",
+         "correctable"],
+        rows,
+        notes=(
+            "Breakpoint-released locks realise multilevel atomicity at "
+            "lock-table cost on every random run (certification never "
+            "fired), answering Section 7's efficiency question in the "
+            "affirmative — with the caveat that the pure lock discipline "
+            "is provably incomplete (see tests/engine/test_nested_lock.py "
+            "for the deterministic counterexample), so the certified "
+            "hybrid is the recommended configuration."
+        ),
+    )

@@ -1,0 +1,100 @@
+"""E3: fewer cycles detected under multilevel atomicity (Section 6).
+
+Claim tested (the paper's central performance conjecture):
+
+    "Presumably, fewer cycles would be detected using the multilevel
+    atomicity definition than if strict serializability were required,
+    leading to fewer rollbacks."
+
+Setup: the same optimistic cycle-detection scheduler runs twice per
+seed — once with the flat 2-nest (strict serializability: classical
+serialization-graph testing) and once with the banking 4-nest.  The
+workload is same-family transfers (the regime the criterion targets);
+contention is swept via accounts per family (fewer accounts = hotter).
+
+Expected shape: MLA detects fewer cycles than SR at every contention
+level, with the gap widest at moderate contention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import mean
+from repro.analysis.plots import line_chart
+from repro.core import KNest
+from repro.engine import MLADetectScheduler
+from repro.workloads import BankingConfig, BankingWorkload
+
+CONTENTION = [1, 2, 4]  # accounts per family (fewer = hotter)
+SEEDS = range(8)
+
+
+def workload(accounts_per_family: int) -> BankingWorkload:
+    return BankingWorkload(BankingConfig(
+        families=2,
+        accounts_per_family=accounts_per_family,
+        transfers=8,
+        intra_family_ratio=1.0,
+        bank_audits=0,
+        creditor_audits=0,
+        seed=3,
+    ))
+
+
+def run_pair(bank: BankingWorkload, seed: int):
+    flat = KNest.flat([p.name for p in bank.programs])
+    sr = bank.engine(MLADetectScheduler(flat), seed=seed).run()
+    mla = bank.engine(MLADetectScheduler(bank.nest), seed=seed).run()
+    return sr.metrics, mla.metrics
+
+
+@pytest.mark.parametrize("apf", CONTENTION)
+def test_e3_detection_benchmark(benchmark, apf):
+    bank = workload(apf)
+    benchmark.group = f"E3 accounts/family={apf}"
+    benchmark(run_pair, bank, 0)
+
+
+def test_e3_cycles_table():
+    rows = []
+    series = {"SR cycles": [], "MLA cycles": []}
+    for apf in CONTENTION:
+        bank = workload(apf)
+        sr_cycles, mla_cycles, sr_aborts, mla_aborts = [], [], [], []
+        for seed in SEEDS:
+            sr, mla = run_pair(bank, seed)
+            sr_cycles.append(sr.cycles_detected)
+            mla_cycles.append(mla.cycles_detected)
+            sr_aborts.append(sr.aborts)
+            mla_aborts.append(mla.aborts)
+        assert mean(mla_cycles) < mean(sr_cycles), (
+            f"MLA must detect fewer cycles than SR at contention {apf}"
+        )
+        series["SR cycles"].append(mean(sr_cycles))
+        series["MLA cycles"].append(mean(mla_cycles))
+        rows.append([
+            apf,
+            f"{mean(sr_cycles):.1f}",
+            f"{mean(mla_cycles):.1f}",
+            f"{mean(sr_cycles) / max(mean(mla_cycles), 0.1):.2f}x",
+            f"{mean(sr_aborts):.1f}",
+            f"{mean(mla_aborts):.1f}",
+        ])
+    record_table(
+        "e3_rollbacks",
+        "E3: cycles detected, strict serializability vs multilevel atomicity",
+        ["accounts/family", "SR cycles", "MLA cycles", "SR/MLA",
+         "SR aborts", "MLA aborts"],
+        rows,
+        notes=(
+            "Same cycle-detection scheduler, flat 2-nest (SR) vs the "
+            "banking 4-nest (MLA); 8 same-family transfers, means over "
+            f"{len(list(SEEDS))} seeds.  The paper's conjecture holds: MLA "
+            "detects strictly fewer cycles at every contention level.\n\n"
+            "```\n"
+            + line_chart(CONTENTION, series)
+            + "\n```"
+        ),
+    )

@@ -1,0 +1,99 @@
+"""E8: every multilevel-atomic execution encodes as a nested action tree.
+
+Claim tested (Section 7): multilevel atomicity can be *described* in the
+nested-transaction model once logical units and atomicity units are
+decoupled — every multilevel-atomic execution admits an action tree whose
+level-``i`` nodes group ``pi(i)``-equivalent transactions carried to
+level-``i-1`` breakpoints.  We verify this across banking and CAD runs
+and measure the encoding overhead (it should be a cheap linear pass,
+supporting the paper's suggestion to reuse nested-transaction machinery).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _harness import record_table
+from repro.core import is_multilevel_atomic
+from repro.errors import NotCoherentError
+from repro.model import spec_for_run
+from repro.nested import encode_action_tree, verify_action_tree
+from repro.workloads import BankingConfig, BankingWorkload, CADConfig, CADWorkload
+
+
+def atomic_runs(db, nest, count, seed):
+    """Collect multilevel-atomic random runs (skipping non-atomic ones)."""
+    rng = random.Random(seed)
+    out = []
+    attempts = 0
+    while len(out) < count and attempts < count * 200:
+        attempts += 1
+        run = db.run(rng=random.Random(rng.randrange(2**31)))
+        spec = spec_for_run(run, nest)
+        if is_multilevel_atomic(spec, run.execution.steps):
+            out.append((spec, run.execution.steps))
+    return out
+
+
+@pytest.fixture(scope="module")
+def banking_runs():
+    bank = BankingWorkload(BankingConfig(
+        families=1, transfers=3, bank_audits=0, creditor_audits=0,
+        intra_family_ratio=1.0, seed=4,
+    ))
+    db = bank.application_database()
+    runs = atomic_runs(db, bank.nest, count=5, seed=0)
+    assert runs
+    return runs
+
+
+def test_e8_encoding_benchmark(benchmark, banking_runs):
+    spec, sequence = banking_runs[0]
+    tree = benchmark(encode_action_tree, spec, sequence, False)
+    verify_action_tree(tree, spec, sequence)
+
+
+def test_e8_encoding_table(banking_runs):
+    cad = CADWorkload(CADConfig(
+        specialties=2, teams_per_specialty=2, items_per_specialty=2,
+        modifications=4, snapshots=1, seed=7,
+    ))
+    cad_db = cad.application_database()
+    cad_runs = atomic_runs(cad_db, cad.nest, count=3, seed=1)
+
+    rows = []
+    for family, runs in (("banking", banking_runs), ("cad", cad_runs)):
+        encoded = 0
+        nodes = []
+        elapsed = []
+        for spec, sequence in runs:
+            start = time.perf_counter()
+            try:
+                tree = encode_action_tree(spec, sequence)
+            except NotCoherentError:  # pragma: no cover - atomic inputs
+                continue
+            elapsed.append(time.perf_counter() - start)
+            verify_action_tree(tree, spec, sequence)
+            encoded += 1
+            nodes.append(tree.size())
+        assert encoded == len(runs), "every atomic run must encode"
+        rows.append([
+            family,
+            f"{encoded}/{len(runs)}",
+            f"{sum(nodes) / len(nodes):.1f}",
+            f"{1e6 * sum(elapsed) / len(elapsed):.0f}",
+        ])
+    record_table(
+        "e8_action_trees",
+        "E8: nested action-tree encoding of atomic executions",
+        ["workload", "encoded", "mean tree nodes", "mean encode time (us)"],
+        rows,
+        notes=(
+            "Every multilevel-atomic random run of each workload encodes "
+            "into a verified Section 7 action tree; the encoder is a "
+            "single linear pass (plus verification)."
+        ),
+    )

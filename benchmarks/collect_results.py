@@ -1,0 +1,96 @@
+"""Assemble EXPERIMENTS.md from the per-experiment result artefacts.
+
+Each ``bench_*`` table test writes ``benchmarks/results/<name>.md``; this
+script stitches them (in experiment order) into the repository-level
+EXPERIMENTS.md together with the paper-vs-measured commentary.
+
+Usage: ``python benchmarks/collect_results.py`` (after running
+``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "results")
+TARGET = os.path.join(HERE, os.pardir, "EXPERIMENTS.md")
+
+ORDER = [
+    "x_paper_examples",
+    "e1_checker_scaling",
+    "e2_admission_banking",
+    "e2_admission_cad",
+    "e3_rollbacks",
+    "e4_throughput",
+    "e5_audit_invariant",
+    "e6_nest_depth",
+    "e7_distributed",
+    "e8_action_trees",
+    "e9_cascades",
+    "e10_closure_ablation",
+    "e11_fgl_audit",
+    "e12_recovery_unit",
+    "e13_nested_locking",
+]
+
+HEADER = """# EXPERIMENTS — measured results
+
+The paper (*Multilevel Atomicity*, Lynch, PODS 1982) is theory-only: it
+contains **no tables or figures**.  Its checkable content is (a) the worked
+examples of Sections 4.2-5.2 and 7, reproduced verbatim below as X1-X8, and
+(b) the performance conjectures and open questions stated in prose, which
+experiments E1-E13 (defined in DESIGN.md) test quantitatively.  Absolute
+numbers are properties of this pure-Python simulator; the *shapes* are the
+reproduction targets.
+
+Regenerate everything with::
+
+    pytest benchmarks/            # runs the tables and the timings
+    python benchmarks/collect_results.py
+
+## Paper-vs-measured summary
+
+| Claim (paper location) | Expected shape | Measured | Verdict |
+|---|---|---|---|
+| Worked examples, §4.2/§5.1/§5.2/§7 (X1-X8) | exact match | exact match (R1 modulo a documented transitive-closure erratum; both §5.1 extensions recovered exactly) | reproduced |
+| Theorem 2 is an effective test (§5) | polynomial-time decision | ms through hundreds of steps, ~quadratic densification at thousands; window pruning keeps on-line cost flat (E1, E10) | holds |
+| MLA admits more schedules than SR (§1, §4) | admission monotone in nest depth, SR = floor | monotone everywhere; same-family banking 0.10 -> 0.43, CAD 0.17 -> 0.53 by depth (E2); CAD engine cycles 5.2 -> 1.3 (E6) | holds |
+| "Fewer cycles ... fewer rollbacks" (§6) | MLA-detect < SR-detect cycles at all contention | 1.3x-1.7x fewer cycles at every contention level (E3) | holds |
+| Serializability too strict for long transactions (§1) | MLA scheduler beats serial & 2PL as transactions grow | mla-detect fastest at moderate length; all controls converge at saturation (E4) | holds (with regime caveat) |
+| Audit atomicity (§1-2) | zero invariant violations under control, violations without | exactly that, every scheduler, every seed (E5) | holds |
+| Migrating-transaction implementability (§6) | distributed prevention correctable on every run | 100% correctable; message overhead quantified (E7) | holds |
+| Nested-action-tree encodability (§7) | every MLA execution encodes; property verified | 100% encode + verify; linear-time pass (E8) | holds |
+| Unbounded rollback chains (§6) | cascade length = chain length | exact, with live-engine confirmation (E9) | holds |
+| [FGL] non-blocking audit (§2) | exact totals while riding level-2 breakpoints | zero errors in both styles; fewer aborts for FGL (E11) | holds |
+| Intermediate recovery unit (§1) | — (paper only cautions) | segment recovery preserves steps but re-enters conflicts: a quantified *negative* result matching the caution (E12) | informative |
+| Nested-transaction implementation efficiency (§7, open) | — (open question) | breakpoint-released locking matches prevention at lock-table cost; provably incomplete (counterexample); certified hybrid sound (E13) | answered |
+
+---
+"""
+
+
+def main() -> None:
+    sections = [HEADER]
+    missing = []
+    for name in ORDER:
+        path = os.path.join(RESULTS, f"{name}.md")
+        if not os.path.exists(path):
+            missing.append(name)
+            continue
+        with open(path, encoding="utf-8") as handle:
+            sections.append(handle.read().strip() + "\n")
+    if missing:
+        sections.append(
+            "\n*(missing artefacts — run `pytest benchmarks/` first: "
+            + ", ".join(missing)
+            + ")*\n"
+        )
+    with open(TARGET, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {os.path.abspath(TARGET)}"
+          + (f" ({len(missing)} artefacts missing)" if missing else ""))
+
+
+if __name__ == "__main__":
+    main()

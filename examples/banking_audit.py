@@ -1,0 +1,89 @@
+"""The Big Bucks Bank under five concurrency controls.
+
+Reproduces the paper's motivating story end to end: a generated banking
+workload (families, conditional transfers, bank audit, creditor audits)
+is executed by the engine under every scheduler, and for each we report
+
+* whether the committed execution is multilevel-atomic-correctable,
+* whether the audits saw consistent totals (no money in transit),
+* throughput, latency and rollback metrics.
+
+The punchline is the paper's Section 6 conjecture made visible: the
+multilevel schedulers admit the breakpoint interleavings that the
+serializability-only schedulers must serialize or roll back.
+
+Run: ``python examples/banking_audit.py``
+"""
+
+from repro.analysis import format_table
+from repro.core import check_correctability
+from repro.engine import (
+    MLADetectScheduler,
+    MLAPreventScheduler,
+    Scheduler,
+    SerialScheduler,
+    TimestampScheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+def main() -> None:
+    config = BankingConfig(
+        families=4,
+        accounts_per_family=2,
+        transfers=10,
+        intra_family_ratio=0.6,
+        bank_audits=1,
+        creditor_audits=2,
+        seed=42,
+    )
+    bank = BankingWorkload(config)
+    print(
+        f"workload: {config.transfers} transfers over {config.families} "
+        f"families, {len(bank.accounts)} accounts, grand total "
+        f"{bank.grand_total}"
+    )
+    print()
+
+    def schedulers():
+        yield "serial", SerialScheduler()
+        yield "2pl", TwoPhaseLockingScheduler()
+        yield "timestamp", TimestampScheduler()
+        yield "mla-detect", MLADetectScheduler(bank.nest)
+        yield "mla-prevent", MLAPreventScheduler(bank.nest)
+        yield "no-control", Scheduler()
+
+    rows = []
+    for label, scheduler in schedulers():
+        result = bank.engine(scheduler, seed=7).run()
+        report = check_correctability(
+            result.spec(bank.nest), result.execution.dependency_edges()
+        )
+        violations = bank.invariant_violations(result)
+        metrics = result.metrics
+        rows.append([
+            label,
+            "yes" if report.correctable else "NO",
+            "ok" if not violations else f"{len(violations)} broken",
+            metrics.ticks,
+            metrics.aborts,
+            metrics.waits,
+            f"{metrics.throughput:.4f}",
+            f"{metrics.mean_latency:.1f}",
+        ])
+
+    print(format_table(
+        ["scheduler", "correctable", "audit", "ticks", "aborts", "waits",
+         "throughput", "latency"],
+        rows,
+    ))
+    print()
+    print("Every controlled scheduler preserves the audit invariant; the")
+    print("free-for-all shows audits of money in transit.  The MLA")
+    print("schedulers keep the audit atomic while letting transfers")
+    print("interleave at their declared breakpoints.")
+
+
+if __name__ == "__main__":
+    main()

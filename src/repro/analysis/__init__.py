@@ -1,0 +1,39 @@
+"""Offline checkers, graph exports and statistics for experiments."""
+
+from repro.analysis.checker import (
+    ScheduleReport,
+    classify_execution,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.analysis.graphs import (
+    ascii_schedule,
+    condensed_transaction_order,
+    dependency_dot,
+    to_dot,
+)
+from repro.analysis.stats import (
+    Summary,
+    confidence_half_width,
+    format_table,
+    mean,
+    stddev,
+    summarize,
+)
+
+__all__ = [
+    "ScheduleReport",
+    "serialization_graph",
+    "is_conflict_serializable",
+    "classify_execution",
+    "to_dot",
+    "dependency_dot",
+    "condensed_transaction_order",
+    "ascii_schedule",
+    "mean",
+    "stddev",
+    "confidence_half_width",
+    "Summary",
+    "summarize",
+    "format_table",
+]

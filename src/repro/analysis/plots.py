@@ -1,0 +1,80 @@
+"""Plain-text figures for the experiment artefacts.
+
+The harness is dependency-light (no matplotlib), so "figures" are ASCII:
+horizontal bar charts for categorical comparisons and multi-series line
+sketches for sweeps.  Both render fine in Markdown code fences, which is
+how EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    rows = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 1 if value > 0 else 0)
+        rows.append(
+            f"{str(label):<{label_width}} | {bar:<{width}} {value:g}{unit}"
+        )
+    return "\n".join(rows)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A multi-series scatter/line sketch on a character grid.
+
+    Each series gets a distinct marker; points are plotted on a
+    ``height`` x ``width`` grid scaled to the data ranges, with a legend
+    and y-axis extremes.
+    """
+    markers = "*o+x@%&"
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in zip(x_values, values)
+    ]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, values):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_hi:>10.3g} +{''.join(grid[0])}"]
+    lines.extend(f"{'':>10} |{''.join(row)}" for row in grid[1:-1])
+    lines.append(f"{y_lo:>10.3g} +{''.join(grid[-1])}")
+    lines.append(f"{'':>10}  {str(x_lo):<{width // 2}}{x_hi:>{width // 2}.6g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>10}  {legend}")
+    return "\n".join(lines)

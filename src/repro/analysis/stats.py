@@ -1,0 +1,71 @@
+"""Small statistics helpers for the experiment harness.
+
+Keeps the benchmark scripts dependency-light: means, confidence
+half-widths and fixed-width table rendering for the EXPERIMENTS.md
+artefacts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["mean", "stddev", "confidence_half_width", "format_table", "Summary", "summarize"]
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Iterable[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def confidence_half_width(values: Iterable[float], z: float = 1.96) -> float:
+    """Normal-approximation half-width of a confidence interval."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return z * stddev(values) / math.sqrt(len(values))
+
+
+class Summary:
+    """Mean plus spread of a sample, printable as ``m ± h``."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self.values = list(values)
+        self.mean = mean(self.values)
+        self.half_width = confidence_half_width(self.values)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".2f"
+        return f"{self.mean:{spec}} ± {self.half_width:{spec}}"
+
+    def __repr__(self) -> str:
+        return f"Summary({self:.3f}, n={len(self.values)})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    return Summary(values)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], min_width: int = 8
+) -> str:
+    """Render an aligned plain-text table (also valid Markdown)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(min_width, len(h), *(len(r[i]) for r in rows) if rows else (0,))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(headers), sep]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

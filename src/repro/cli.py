@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``schedulers``
+    List the available concurrency controls.
+``run``
+    Generate a banking / CAD / FGL workload, execute it under a chosen
+    scheduler, and print the correctness classification plus metrics.
+``sweep``
+    Run one workload under every scheduler and print a comparison table.
+``admission``
+    Sample random interleavings of a workload and report admission rates
+    by nest depth (experiment E2's measurement, on demand).
+``walkthrough``
+    Reproduce the paper's worked examples (Sections 4.2-5.2, 7).
+
+Everything is seeded and deterministic; pass ``--seed`` to vary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import classify_execution, format_table
+from repro.engine import (
+    MLADetectScheduler,
+    MLAPreventScheduler,
+    NestedLockScheduler,
+    Scheduler,
+    SerialScheduler,
+    TimestampScheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.workloads import (
+    BankingConfig,
+    BankingWorkload,
+    CADConfig,
+    CADWorkload,
+    FGLConfig,
+    FGLWorkload,
+    admission_by_depth,
+)
+
+__all__ = ["main"]
+
+SCHEDULERS = {
+    "serial": lambda nest: SerialScheduler(),
+    "2pl": lambda nest: TwoPhaseLockingScheduler(),
+    "timestamp": lambda nest: TimestampScheduler(),
+    "mla-detect": lambda nest: MLADetectScheduler(nest),
+    "mla-prevent": lambda nest: MLAPreventScheduler(nest),
+    "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
+    "none": lambda nest: Scheduler(),
+}
+
+
+def _build_workload(args):
+    if args.workload == "banking":
+        return BankingWorkload(BankingConfig(
+            families=args.families,
+            transfers=args.transfers,
+            bank_audits=1,
+            creditor_audits=1,
+            seed=args.workload_seed,
+        ))
+    if args.workload == "cad":
+        return CADWorkload(CADConfig(
+            modifications=args.transfers, seed=args.workload_seed
+        ))
+    if args.workload == "fgl":
+        return FGLWorkload(FGLConfig(
+            transfers=args.transfers, seed=args.workload_seed
+        ))
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _classify(workload, result):
+    return classify_execution(
+        result.execution,
+        workload.nest,
+        result.cut_levels,
+    )
+
+
+def cmd_schedulers(args) -> int:
+    for name in SCHEDULERS:
+        print(name)
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = _build_workload(args)
+    scheduler = SCHEDULERS[args.scheduler](workload.nest)
+    result = workload.engine(scheduler, seed=args.seed).run()
+    report = _classify(workload, result)
+    print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
+          f"seed: {args.seed}")
+    print(f"committed {result.metrics.commits} transactions in "
+          f"{result.metrics.ticks} ticks "
+          f"(aborts={result.metrics.aborts}, waits={result.metrics.waits})")
+    for key, value in report.as_row().items():
+        print(f"  {key:16s} {value}")
+    violations = workload.invariant_violations(result)
+    print(f"  invariants       {'ok' if not violations else violations}")
+    return 0 if report.multilevel_correctable or args.scheduler == "none" else 1
+
+
+def cmd_sweep(args) -> int:
+    workload = _build_workload(args)
+    rows = []
+    for name, factory in SCHEDULERS.items():
+        result = workload.engine(
+            factory(workload.nest), seed=args.seed
+        ).run()
+        report = _classify(workload, result)
+        violations = workload.invariant_violations(result)
+        rows.append([
+            name,
+            result.metrics.ticks,
+            result.metrics.aborts,
+            result.metrics.waits,
+            "yes" if report.multilevel_correctable else "NO",
+            "ok" if not violations else f"{len(violations)} broken",
+        ])
+    print(format_table(
+        ["scheduler", "ticks", "aborts", "waits", "correctable", "invariants"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_admission(args) -> int:
+    workload = _build_workload(args)
+    db = workload.application_database()
+    rows = [
+        [depth, f"{atomic:.2f}", f"{correctable:.2f}"]
+        for depth, atomic, correctable in admission_by_depth(
+            db, samples=args.samples, seed=args.seed
+        )
+    ]
+    print(format_table(["nest depth", "atomic", "correctable"], rows))
+    return 0
+
+
+def cmd_walkthrough(args) -> int:
+    from examples import paper_walkthrough  # type: ignore
+
+    paper_walkthrough.main()
+    return 0
+
+
+def _add_workload_arguments(parser) -> None:
+    parser.add_argument(
+        "--workload", choices=["banking", "cad", "fgl"], default="banking"
+    )
+    parser.add_argument("--families", type=int, default=3)
+    parser.add_argument("--transfers", type=int, default=6)
+    parser.add_argument("--workload-seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multilevel atomicity (Lynch, PODS 1982) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schedulers").set_defaults(func=cmd_schedulers)
+
+    run = sub.add_parser("run", help="run one workload under one scheduler")
+    _add_workload_arguments(run)
+    run.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="mla-detect"
+    )
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="compare every scheduler")
+    _add_workload_arguments(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    admission = sub.add_parser(
+        "admission", help="admission rates by nest depth"
+    )
+    _add_workload_arguments(admission)
+    admission.add_argument("--samples", type=int, default=40)
+    admission.set_defaults(func=cmd_admission)
+
+    walkthrough = sub.add_parser(
+        "walkthrough", help="reproduce the paper's worked examples"
+    )
+    walkthrough.set_defaults(func=cmd_walkthrough)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

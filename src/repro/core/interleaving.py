@@ -1,0 +1,157 @@
+"""k-level interleaving specifications (Section 4.2).
+
+An interleaving specification for a set ``T`` of transactions is a family
+of triples ``(X_t, <=_t, B_t)``: for each transaction a disjoint totally
+ordered set of steps and a k-level breakpoint description over them.
+Together with a k-nest ``pi`` over ``T`` it determines which relations on
+``U X_t`` are *coherent* (see :mod:`repro.core.coherence`).
+
+The class below bundles the nest and the triples and pre-computes the
+lookups that every coherence query needs: which transaction owns a step,
+the step's position in its transaction, and ``segment_last`` at each
+relevant level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from typing import TypeVar
+
+from repro.core.nests import KNest
+from repro.core.segmentation import BreakpointDescription
+from repro.errors import SpecificationError
+
+S = TypeVar("S", bound=Hashable)
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["InterleavingSpec"]
+
+
+class InterleavingSpec:
+    """A k-nest over transactions plus per-transaction step orders and
+    breakpoint descriptions.
+
+    Parameters
+    ----------
+    nest:
+        The k-nest ``pi`` over transaction identifiers.
+    descriptions:
+        For each transaction in ``nest.items``, its breakpoint
+        description (which carries the transaction's totally ordered step
+        set).  Step sets must be pairwise disjoint and every description
+        must have the same ``k`` as the nest.
+    """
+
+    __slots__ = ("_nest", "_descriptions", "_owner", "_position")
+
+    def __init__(
+        self,
+        nest: KNest,
+        descriptions: Mapping[T, BreakpointDescription],
+    ) -> None:
+        if set(descriptions) != set(nest.items):
+            raise SpecificationError(
+                "descriptions must cover exactly the transactions of the nest"
+            )
+        self._nest = nest
+        self._descriptions = dict(descriptions)
+        self._owner: dict[S, T] = {}
+        self._position: dict[S, int] = {}
+        for txn, desc in self._descriptions.items():
+            if desc.k != nest.k:
+                raise SpecificationError(
+                    f"description of {txn!r} has k={desc.k}, nest has k={nest.k}"
+                )
+            for pos, step in enumerate(desc.elements):
+                if step in self._owner:
+                    raise SpecificationError(
+                        f"step {step!r} belongs to both {self._owner[step]!r} "
+                        f"and {txn!r}; step sets must be disjoint"
+                    )
+                self._owner[step] = txn
+                self._position[step] = pos
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nest(self) -> KNest:
+        return self._nest
+
+    @property
+    def k(self) -> int:
+        return self._nest.k
+
+    @property
+    def transactions(self) -> frozenset:
+        return self._nest.items
+
+    @property
+    def steps(self) -> frozenset:
+        """All steps ``U X_t``."""
+        return frozenset(self._owner)
+
+    def description(self, txn: T) -> BreakpointDescription:
+        try:
+            return self._descriptions[txn]
+        except KeyError:
+            raise SpecificationError(f"unknown transaction {txn!r}") from None
+
+    def transaction_of(self, step: S) -> T:
+        try:
+            return self._owner[step]
+        except KeyError:
+            raise SpecificationError(f"unknown step {step!r}") from None
+
+    def position_of(self, step: S) -> int:
+        """0-based position of ``step`` within its transaction's order."""
+        return self._position[step]
+
+    def level(self, t: T, u: T) -> int:
+        return self._nest.level(t, u)
+
+    def precedes_in_transaction(self, a: S, b: S) -> bool:
+        """Whether ``a <_t b`` for a common transaction ``t``."""
+        return (
+            self._owner[a] == self._owner[b]
+            and self._position[a] < self._position[b]
+        )
+
+    def segment_last(self, step: S, level: int) -> S:
+        """Last step of ``step``'s level-``level`` segment in its own
+        transaction (the quantity rule (b) of coherence propagates)."""
+        return self._descriptions[self._owner[step]].segment_last(level, step)
+
+    def chain_pairs(self) -> Iterator[tuple[S, S]]:
+        """All consecutive pairs ``(x_i, x_{i+1})`` of every ``<=_t``.
+
+        The transitive closure of these is exactly ``U <=_t``, the seed
+        that coherence condition (a) requires every coherent relation to
+        contain.
+        """
+        for desc in self._descriptions.values():
+            elems = desc.elements
+            for i in range(len(elems) - 1):
+                yield elems[i], elems[i + 1]
+
+    def restrict(self, transactions) -> "InterleavingSpec":
+        """The specification induced on a subset of the transactions."""
+        keep = set(transactions)
+        return InterleavingSpec(
+            self._nest.restrict(keep),
+            {t: d for t, d in self._descriptions.items() if t in keep},
+        )
+
+    def truncate(self, k: int) -> "InterleavingSpec":
+        """Coarsen nest and all descriptions to depth ``k`` (ablation E6)."""
+        return InterleavingSpec(
+            self._nest.truncate(k),
+            {t: d.truncate(k) for t, d in self._descriptions.items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InterleavingSpec(k={self.k}, transactions="
+            f"{len(self._descriptions)}, steps={len(self._owner)})"
+        )

@@ -1,0 +1,282 @@
+"""k-nests (Section 4.2 of the paper).
+
+A *k-nest* ``pi`` for a set ``X`` assigns an equivalence relation ``pi(i)``
+to each level ``i`` in ``1..k`` such that
+
+* ``pi(1)`` has exactly one equivalence class (everything is related),
+* ``pi(k)`` consists of singleton classes (nothing is related but itself),
+* each ``pi(i)`` refines its predecessor ``pi(i-1)``.
+
+For ``x, x' in X``, ``level(x, x')`` is the largest ``i`` with
+``(x, x') in pi(i)``; pairs with higher level are more closely related.
+
+In this library the elements of ``X`` are usually transaction identifiers,
+and the nest encodes the hierarchical structure of an organisation (families
+of bank customers, teams of CAD experts, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
+
+from repro.errors import SpecificationError
+
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["KNest"]
+
+
+class KNest:
+    """An immutable k-nest over a finite set of hashable items.
+
+    Parameters
+    ----------
+    partitions:
+        ``partitions[i - 1]`` is the partition for level ``i`` (1-based
+        levels, as in the paper), given as an iterable of iterables of
+        items.  Level 1 must be a single class, level ``k`` must be all
+        singletons, and each level must refine the previous one.
+
+    Examples
+    --------
+    The paper's banking 4-nest (Section 4.2) for three customer transfers
+    ``t1, t2, t3`` (``t1`` and ``t2`` from a common family) and one bank
+    audit ``a``::
+
+        >>> nest = KNest([
+        ...     [["t1", "t2", "t3", "a"]],
+        ...     [["t1", "t2", "t3"], ["a"]],
+        ...     [["t1", "t2"], ["t3"], ["a"]],
+        ...     [["t1"], ["t2"], ["t3"], ["a"]],
+        ... ])
+        >>> nest.level("t1", "t2")
+        3
+        >>> nest.level("t1", "t3")
+        2
+        >>> nest.level("t1", "a")
+        1
+        >>> nest.level("a", "a")
+        4
+    """
+
+    __slots__ = ("_k", "_items", "_class_ids", "_classes")
+
+    def __init__(self, partitions: Sequence[Iterable[Iterable[T]]]) -> None:
+        if not partitions:
+            raise SpecificationError("a k-nest needs at least one level")
+        self._k = len(partitions)
+        # Per level: item -> class id, and tuple of frozenset classes.
+        self._class_ids: list[dict[T, int]] = []
+        self._classes: list[tuple[frozenset[T], ...]] = []
+        for level0, raw_classes in enumerate(partitions):
+            classes = tuple(frozenset(c) for c in raw_classes)
+            ids: dict[T, int] = {}
+            for cid, cls in enumerate(classes):
+                if not cls:
+                    raise SpecificationError(
+                        f"level {level0 + 1} contains an empty class"
+                    )
+                for item in cls:
+                    if item in ids:
+                        raise SpecificationError(
+                            f"item {item!r} appears in two classes of level "
+                            f"{level0 + 1}"
+                        )
+                    ids[item] = cid
+            self._class_ids.append(ids)
+            self._classes.append(classes)
+        self._items = frozenset(self._class_ids[0])
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_paths(cls, paths: Mapping[T, Sequence[Hashable]]) -> "KNest":
+        """Build a k-nest from hierarchy *paths*.
+
+        Each item maps to a sequence of ``k - 2`` group labels; two items
+        are ``pi(i)``-equivalent exactly when their paths agree on the
+        first ``i - 1`` labels.  Level 1 relates everything and level ``k``
+        is automatically the singleton partition, so all paths must have
+        the same length and ``k = len(path) + 2``.
+
+        This is the natural encoding for organisational hierarchies: the
+        banking nest uses paths like ``("customer", "family-1")`` for
+        transfers and ``("audit:a1", "audit:a1")`` for audits (unique
+        labels put the audit in a singleton class from level 2 on).
+        """
+        if not paths:
+            raise SpecificationError("from_paths needs at least one item")
+        lengths = {len(p) for p in paths.values()}
+        if len(lengths) != 1:
+            raise SpecificationError(
+                f"all paths must have equal length, got lengths {sorted(lengths)}"
+            )
+        depth = lengths.pop()
+        k = depth + 2
+        partitions: list[list[list[T]]] = []
+        for level in range(1, k + 1):
+            groups: dict[tuple, list[T]] = {}
+            for item, path in paths.items():
+                if level == k:
+                    key = ("item", item)
+                else:
+                    key = ("prefix", tuple(path[: level - 1]))
+                groups.setdefault(key, []).append(item)
+            partitions.append(list(groups.values()))
+        return cls(partitions)
+
+    @classmethod
+    def flat(cls, items: Iterable[T]) -> "KNest":
+        """The 2-nest: everything related at level 1, nothing at level 2.
+
+        Under this nest, multilevel atomicity degenerates to classical
+        serializability (Section 4.3's first example).
+        """
+        items = list(items)
+        return cls([[items], [[item] for item in items]])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of levels."""
+        return self._k
+
+    @property
+    def items(self) -> frozenset:
+        """The underlying set ``X``."""
+        return self._items
+
+    def level(self, x: T, y: T) -> int:
+        """``level(x, y)``: the largest ``i`` with ``(x, y) in pi(i)``."""
+        self._require(x)
+        self._require(y)
+        if x == y:
+            return self._k
+        # Walk down from the finest level; classes only merge going up.
+        for i in range(self._k, 0, -1):
+            ids = self._class_ids[i - 1]
+            if ids[x] == ids[y]:
+                return i
+        raise SpecificationError(
+            f"{x!r} and {y!r} unrelated even at level 1; not a valid k-nest"
+        )
+
+    def classes(self, i: int) -> tuple[frozenset, ...]:
+        """The equivalence classes of ``pi(i)``."""
+        self._require_level(i)
+        return self._classes[i - 1]
+
+    def class_of(self, i: int, x: T) -> frozenset:
+        """The ``pi(i)``-class containing ``x``."""
+        self._require_level(i)
+        self._require(x)
+        return self._classes[i - 1][self._class_ids[i - 1][x]]
+
+    def class_id(self, i: int, x: T) -> int:
+        """A canonical integer id of the ``pi(i)``-class containing ``x``."""
+        self._require_level(i)
+        self._require(x)
+        return self._class_ids[i - 1][x]
+
+    def same_class(self, i: int, x: T, y: T) -> bool:
+        """Whether ``(x, y) in pi(i)``."""
+        self._require_level(i)
+        self._require(x)
+        self._require(y)
+        ids = self._class_ids[i - 1]
+        return ids[x] == ids[y]
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def restrict(self, items: Iterable[T]) -> "KNest":
+        """The induced k-nest on a subset of the items.
+
+        Used when deriving the interleaving specification for a particular
+        execution, which mentions only the transactions that actually took
+        steps (Section 4.3).
+        """
+        keep = set(items)
+        missing = keep - self._items
+        if missing:
+            raise SpecificationError(f"unknown items: {sorted(map(repr, missing))}")
+        if not keep:
+            raise SpecificationError("cannot restrict a nest to the empty set")
+        partitions = []
+        for classes in self._classes:
+            partitions.append(
+                [cls & keep for cls in classes if cls & keep]
+            )
+        return KNest(partitions)
+
+    def truncate(self, k: int) -> "KNest":
+        """Coarsen to a ``k``-nest by keeping levels ``1..k-1`` and forcing
+        level ``k`` to singletons.
+
+        This is the ablation used by experiment E6: truncating the CAD
+        5-nest to depth 2 yields plain serializability; each extra level
+        re-admits one tier of interleaving.
+        """
+        if not 2 <= k <= self._k:
+            raise SpecificationError(
+                f"truncation depth must be in [2, {self._k}], got {k}"
+            )
+        partitions: list[list[list[T]]] = [
+            [list(cls) for cls in self._classes[i]] for i in range(k - 1)
+        ]
+        partitions.append([[item] for item in self._items])
+        return KNest(partitions)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _require(self, x: T) -> None:
+        if x not in self._items:
+            raise SpecificationError(f"unknown item: {x!r}")
+
+    def _require_level(self, i: int) -> None:
+        if not 1 <= i <= self._k:
+            raise SpecificationError(f"level must be in [1, {self._k}], got {i}")
+
+    def _validate(self) -> None:
+        if len(self._classes[0]) != 1:
+            raise SpecificationError("pi(1) must consist of exactly one class")
+        if any(len(cls) != 1 for cls in self._classes[-1]):
+            raise SpecificationError("pi(k) must consist of singleton classes")
+        for i in range(1, self._k):
+            if set(self._class_ids[i]) != self._items:
+                raise SpecificationError(
+                    f"level {i + 1} does not partition the same item set as level 1"
+                )
+            # pi(i+1) refines pi(i): each finer class sits inside one coarser
+            # class.
+            coarse = self._class_ids[i - 1]
+            for cls in self._classes[i]:
+                owners = {coarse[item] for item in cls}
+                if len(owners) != 1:
+                    raise SpecificationError(
+                        f"level {i + 1} does not refine level {i}: class "
+                        f"{sorted(map(repr, cls))} straddles two level-{i} classes"
+                    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KNest):
+            return NotImplemented
+        return self._k == other._k and all(
+            set(a) == set(b) for a, b in zip(self._classes, other._classes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._k, tuple(frozenset(c) for c in self._classes[-2])))
+
+    def __repr__(self) -> str:
+        return f"KNest(k={self._k}, items={len(self._items)})"

@@ -1,0 +1,312 @@
+"""Segmentations and k-level breakpoint descriptions (Section 4.2).
+
+Given a totally ordered set ``(X, <=)`` — in practice the steps of one
+execution of one transaction — an equivalence relation on ``X`` is a
+*<=-segmentation* when every class is a run of consecutive elements.  A
+*k-level breakpoint description* ``B`` is a k-nest for ``X`` in which every
+``B(i)`` is a segmentation: ``B(1)`` is the whole sequence (no interior
+breakpoints: the transaction is fully atomic at level 1), ``B(k)`` is all
+singletons (breakpoints everywhere), and each level refines the previous
+one, i.e. higher levels only *add* breakpoints.
+
+We represent a segmentation by its set of *cuts*: cut ``j`` sits in the gap
+between element ``j`` and element ``j + 1`` (0-based, so a sequence of
+``n`` elements has gaps ``0 .. n - 2``).  Refinement then reads as plain
+set containment of cut sets, which makes validation and the
+``segment_last`` query used throughout the coherence machinery cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
+
+from repro.errors import SpecificationError
+
+E = TypeVar("E", bound=Hashable)
+
+__all__ = ["BreakpointDescription"]
+
+
+class BreakpointDescription:
+    """A k-level breakpoint description for one totally ordered set.
+
+    Parameters
+    ----------
+    elements:
+        The totally ordered set, smallest first; must be distinct.
+    cuts_per_level:
+        ``cuts_per_level[i - 1]`` is the set of gap indices that are
+        breakpoints at level ``i``.  Level 1 must be empty, level ``k``
+        must contain every gap, and levels must be monotone under
+        inclusion.
+    """
+
+    __slots__ = ("_elements", "_index", "_cuts", "_k")
+
+    def __init__(
+        self,
+        elements: Sequence[E],
+        cuts_per_level: Sequence[Iterable[int]],
+    ) -> None:
+        self._elements: tuple[E, ...] = tuple(elements)
+        self._index: dict[E, int] = {e: i for i, e in enumerate(self._elements)}
+        if len(self._index) != len(self._elements):
+            raise SpecificationError("elements of a total order must be distinct")
+        if not cuts_per_level:
+            raise SpecificationError("need at least one level")
+        self._k = len(cuts_per_level)
+        n_gaps = max(len(self._elements) - 1, 0)
+        all_gaps = frozenset(range(n_gaps))
+        self._cuts: list[frozenset[int]] = []
+        for level0, cuts in enumerate(cuts_per_level):
+            cut_set = frozenset(cuts)
+            bad = cut_set - all_gaps
+            if bad:
+                raise SpecificationError(
+                    f"level {level0 + 1} has out-of-range cuts {sorted(bad)}"
+                )
+            self._cuts.append(cut_set)
+        if self._cuts[0]:
+            raise SpecificationError("B(1) must have no interior breakpoints")
+        if self._cuts[-1] != all_gaps:
+            raise SpecificationError("B(k) must cut between every pair of steps")
+        for i in range(1, self._k):
+            if not self._cuts[i - 1] <= self._cuts[i]:
+                raise SpecificationError(
+                    f"B({i + 1}) must refine B({i}): every level-{i} breakpoint "
+                    f"must also be a level-{i + 1} breakpoint"
+                )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_classes(
+        cls,
+        elements: Sequence[E],
+        partitions: Sequence[Iterable[Iterable[E]]],
+    ) -> "BreakpointDescription":
+        """Build from paper-style equivalence classes.
+
+        ``partitions[i - 1]`` lists the ``B(i)``-classes; each class must
+        be a set of consecutive elements (a segment).  This is the literal
+        form used by the paper's banking example, e.g.
+        ``B(2)``'s classes ``{w1, w2, w3}`` and ``{d1, d2}``.
+        """
+        order = {e: i for i, e in enumerate(elements)}
+        cuts_per_level: list[set[int]] = []
+        for level0, classes in enumerate(partitions):
+            seen: set[E] = set()
+            boundaries: set[int] = set()
+            for raw in classes:
+                idx = sorted(order[e] for e in raw)
+                if not idx:
+                    raise SpecificationError(
+                        f"level {level0 + 1} contains an empty class"
+                    )
+                if idx != list(range(idx[0], idx[-1] + 1)):
+                    raise SpecificationError(
+                        f"level {level0 + 1} class {sorted(map(repr, raw))} is "
+                        "not a segment of consecutive elements"
+                    )
+                seen.update(raw)
+                if idx[0] > 0:
+                    boundaries.add(idx[0] - 1)
+                if idx[-1] < len(elements) - 1:
+                    boundaries.add(idx[-1])
+            if seen != set(elements):
+                raise SpecificationError(
+                    f"level {level0 + 1} classes do not cover all elements"
+                )
+            cuts_per_level.append(boundaries)
+        return cls(elements, cuts_per_level)
+
+    @classmethod
+    def from_cut_levels(
+        cls,
+        elements: Sequence[E],
+        k: int,
+        cut_levels: Mapping[int, int] | None = None,
+    ) -> "BreakpointDescription":
+        """Build from per-gap *minimum breakpoint levels*.
+
+        ``cut_levels[gap] = i`` declares that the gap is a breakpoint at
+        level ``i`` and (by refinement) every level above; gaps not
+        mentioned are breakpoints only at the mandatory level ``k``.  This
+        matches the transaction-program API, where a program emits
+        ``Breakpoint(level=i)`` between steps.
+        """
+        cut_levels = dict(cut_levels or {})
+        n_gaps = max(len(elements) - 1, 0)
+        for gap, lvl in cut_levels.items():
+            if not 0 <= gap < n_gaps:
+                raise SpecificationError(f"gap {gap} out of range")
+            if not 2 <= lvl <= k:
+                raise SpecificationError(
+                    f"declared breakpoint level must be in [2, {k}], got {lvl}"
+                )
+        cuts_per_level: list[set[int]] = [set() for _ in range(k)]
+        cuts_per_level[k - 1] = set(range(n_gaps))
+        for gap, lvl in cut_levels.items():
+            for i in range(lvl, k + 1):
+                cuts_per_level[i - 1].add(gap)
+        return cls(elements, cuts_per_level)
+
+    @classmethod
+    def serial(cls, elements: Sequence[E]) -> "BreakpointDescription":
+        """The unique 2-level description: no interior breakpoints.
+
+        With the flat 2-nest this yields classical serializability.
+        """
+        return cls.from_cut_levels(elements, k=2)
+
+    @classmethod
+    def free(cls, elements: Sequence[E], k: int) -> "BreakpointDescription":
+        """Breakpoints everywhere from level 2 up: arbitrary interleaving
+        with every transaction not forced to level 1."""
+        n_gaps = max(len(elements) - 1, 0)
+        return cls.from_cut_levels(
+            elements, k, {gap: 2 for gap in range(n_gaps)}
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def elements(self) -> tuple[E, ...]:
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._index
+
+    def index_of(self, element: E) -> int:
+        try:
+            return self._index[element]
+        except KeyError:
+            raise SpecificationError(f"unknown element {element!r}") from None
+
+    def cuts(self, level: int) -> frozenset[int]:
+        """Gap indices that are breakpoints at ``level``."""
+        self._require_level(level)
+        return self._cuts[level - 1]
+
+    def is_cut(self, level: int, gap: int) -> bool:
+        self._require_level(level)
+        return gap in self._cuts[level - 1]
+
+    def min_cut_level(self, gap: int) -> int:
+        """The smallest level at which ``gap`` is a breakpoint."""
+        for i in range(1, self._k + 1):
+            if gap in self._cuts[i - 1]:
+                return i
+        raise SpecificationError(f"gap {gap} out of range")
+
+    def segment_bounds(self, level: int, element: E) -> tuple[int, int]:
+        """Inclusive ``(first, last)`` indices of the level-``level``
+        segment containing ``element``."""
+        idx = self.index_of(element)
+        cuts = sorted(self._cuts[level - 1])
+        # first cut at or after idx bounds the segment on the right
+        pos = bisect.bisect_left(cuts, idx)
+        hi = cuts[pos] if pos < len(cuts) else len(self._elements) - 1
+        lo = cuts[pos - 1] + 1 if pos > 0 else 0
+        return lo, hi
+
+    def segment_of(self, level: int, element: E) -> tuple[E, ...]:
+        lo, hi = self.segment_bounds(level, element)
+        return self._elements[lo : hi + 1]
+
+    def segment_last(self, level: int, element: E) -> E:
+        """The last element of ``element``'s level-``level`` segment.
+
+        This is the single quantity the coherent-closure rule needs: if a
+        step ``a`` precedes a foreign step ``b``, then ``segment_last``
+        of ``a`` at the appropriate level must also precede ``b``.
+        """
+        _, hi = self.segment_bounds(level, element)
+        return self._elements[hi]
+
+    def same_segment(self, level: int, a: E, b: E) -> bool:
+        lo, hi = self.segment_bounds(level, a)
+        return lo <= self.index_of(b) <= hi
+
+    def segments(self, level: int) -> list[tuple[E, ...]]:
+        """All level-``level`` segments in order."""
+        self._require_level(level)
+        if not self._elements:
+            return []
+        out: list[tuple[E, ...]] = []
+        start = 0
+        for gap in sorted(self._cuts[level - 1]):
+            out.append(self._elements[start : gap + 1])
+            start = gap + 1
+        out.append(self._elements[start:])
+        return out
+
+    def classes(self, level: int) -> list[frozenset[E]]:
+        """Paper-style equivalence classes of ``B(level)``."""
+        return [frozenset(seg) for seg in self.segments(level)]
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def truncate(self, k: int) -> "BreakpointDescription":
+        """Coarsen to ``k`` levels: keep ``B(1..k-1)``, force ``B(k)`` to
+        singletons (companion of :meth:`KNest.truncate`)."""
+        if not 2 <= k <= self._k:
+            raise SpecificationError(
+                f"truncation depth must be in [2, {self._k}], got {k}"
+            )
+        n_gaps = max(len(self._elements) - 1, 0)
+        cuts = [set(self._cuts[i]) for i in range(k - 1)]
+        cuts.append(set(range(n_gaps)))
+        return BreakpointDescription(self._elements, cuts)
+
+    def prefix(self, length: int) -> "BreakpointDescription":
+        """The description induced on the first ``length`` elements.
+
+        Used by on-line schedulers, which only ever see a prefix of each
+        transaction's eventual execution.
+        """
+        if not 0 <= length <= len(self._elements):
+            raise SpecificationError(f"bad prefix length {length}")
+        gaps = max(length - 1, 0)
+        cuts = [{g for g in level_cuts if g < gaps} for level_cuts in self._cuts]
+        if length:
+            cuts[-1] = set(range(gaps))
+        return BreakpointDescription(self._elements[:length], cuts)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _require_level(self, level: int) -> None:
+        if not 1 <= level <= self._k:
+            raise SpecificationError(
+                f"level must be in [1, {self._k}], got {level}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BreakpointDescription):
+            return NotImplemented
+        return self._elements == other._elements and self._cuts == other._cuts
+
+    def __hash__(self) -> int:
+        return hash((self._elements, tuple(self._cuts)))
+
+    def __repr__(self) -> str:
+        return (
+            f"BreakpointDescription(k={self._k}, n={len(self._elements)})"
+        )

@@ -1,0 +1,34 @@
+"""The migrating-transaction distributed substrate ([RSL], Section 6).
+
+Entities live on data nodes; transactions migrate from entity to entity
+as messages over a latency-simulating network; a sequencer node owns the
+concurrency-control state (no control / distributed locking / Section 6
+cycle prevention).  Experiment E7 measures the message and latency price
+of each control and checks that prevention yields only correctable
+executions.
+"""
+
+from repro.distributed.controller import (
+    DistributedLockControl,
+    DistributedPreventControl,
+    DistributedResult,
+    DistributedRuntime,
+    NoControl,
+    Sequencer,
+)
+from repro.distributed.migration import MigratingTransaction
+from repro.distributed.network import Message, Network
+from repro.distributed.node import DataNode
+
+__all__ = [
+    "Message",
+    "Network",
+    "DataNode",
+    "MigratingTransaction",
+    "Sequencer",
+    "NoControl",
+    "DistributedLockControl",
+    "DistributedPreventControl",
+    "DistributedResult",
+    "DistributedRuntime",
+]

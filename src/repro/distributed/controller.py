@@ -1,0 +1,647 @@
+"""The sequencer (validator) and the distributed runtime.
+
+The application database is a *logically centralised* object (Section 3);
+this runtime implements it physically distributed in the [RSL] migrating-
+transaction style, with one asymmetry that real early distributed DBMS
+designs shared: a **sequencer** node owns the concurrency-control state.
+Data nodes ask it for per-step permission, so every admission policy of
+the single-site engine has a distributed counterpart that pays message
+latency for each decision — exactly the overhead experiment E7 measures.
+
+Controls:
+
+* :class:`NoControl` — grant everything (the contrast case).
+* :class:`DistributedLockControl` — strict exclusive locking at the
+  sequencer (distributed 2PL under the paper's all-access conflicts).
+* :class:`DistributedPreventControl` — Section 6 cycle prevention: a step
+  is granted only when every transaction whose last performed step would
+  precede it in the coherent closure sits at a breakpoint of the
+  appropriate level.
+
+Rollback is sequencer-driven: it computes the cascade over its global
+log, sends ``undo`` messages to the owning nodes (per-target FIFO
+channels make undo/grant races impossible) and restarts victims at their
+origin after a backoff.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.core.interleaving import InterleavingSpec
+from repro.core.nests import KNest
+from repro.distributed.migration import MigratingTransaction
+from repro.distributed.network import Message, Network
+from repro.distributed.node import DataNode
+from repro.engine.closure_window import ClosureWindow
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.rollback import cascade_closure, undo_plan
+from repro.errors import NetworkError
+from repro.model.breakpoints import spec_for_execution
+from repro.model.execution import Execution
+from repro.model.programs import TransactionProgram
+from repro.model.steps import StepId, StepRecord
+
+__all__ = [
+    "NoControl",
+    "DistributedLockControl",
+    "DistributedPreventControl",
+    "Sequencer",
+    "DistributedResult",
+    "DistributedRuntime",
+]
+
+
+# ---------------------------------------------------------------------------
+# controls
+# ---------------------------------------------------------------------------
+
+
+class NoControl:
+    """Grant every request immediately."""
+
+    name = "none"
+
+    def attach(self, sequencer: "Sequencer") -> None:
+        self.sequencer = sequencer
+
+    def decide(self, request: dict):
+        return "grant"
+
+    def on_performed(self, name: str, record: StepRecord | None,
+                     cut_levels: dict[int, int], finished: bool) -> None:
+        pass
+
+    def certify_commit(self, name: str) -> list[str] | None:
+        """Victims to roll back instead of committing, or None when the
+        commit is safe.  Controls with a closure window must never let a
+        transaction commit while the window is cyclic (see
+        repro.engine.schedulers._certify for the failure mode)."""
+        return None
+
+    def on_commit(self, name: str) -> None:
+        pass
+
+    def on_abort(self, name: str) -> None:
+        pass
+
+
+class DistributedLockControl(NoControl):
+    """Strict sequencer-side locking: every access takes an exclusive
+    entity lock held to commit; waits-for cycles abort the youngest."""
+
+    name = "2pl"
+
+    def __init__(self) -> None:
+        self.locks = LockManager()
+
+    def decide(self, request: dict):
+        name = request["name"]
+        if self.locks.try_acquire(name, request["entity"], LockMode.EXCLUSIVE):
+            return "grant"
+        cycle = self.locks.deadlock_cycle()
+        if cycle:
+            victim = max(cycle, key=self.sequencer.priority_key)
+            return ("abort", [victim])
+        return "wait"
+
+    def on_commit(self, name: str) -> None:
+        self.locks.release_all(name)
+
+    def on_abort(self, name: str) -> None:
+        self.locks.release_all(name)
+
+
+class DistributedPreventControl(NoControl):
+    """Section 6 cycle prevention at the sequencer."""
+
+    name = "mla-prevent"
+
+    def __init__(self, nest: KNest, conflicts: str = "all",
+                 mode: str = "incremental") -> None:
+        self.nest = nest
+        self.window = ClosureWindow(nest, mode=mode, conflicts=conflicts)
+
+    def _at_breakpoint(self, name: str, level: int) -> bool:
+        seq = self.sequencer
+        state = seq.progress.get(name)
+        if state is None or state["steps"] == 0 or state["finished"]:
+            return True
+        declared = state["cuts"].get(state["steps"] - 1)
+        return declared is not None and declared <= level
+
+    def decide(self, request: dict):
+        seq = self.sequencer
+        name = request["name"]
+        step = StepId(name, request["steps_taken"])
+        # The window must know the requester's latest breakpoints for the
+        # hypothetical prefix description.
+        self.window._cuts[name] = {
+            g: lv
+            for g, lv in request["cut_levels"].items()
+        }
+        acyclic, predecessors, cycle_owners = self.window.hypothetical(
+            name, step, request["entity"], request["kind"]
+        )
+        if not acyclic:
+            blockers = {
+                owner
+                for owner in cycle_owners
+                if owner != name and owner not in seq.committed_names
+            }
+            return self._wait_or_break(name, blockers or None)
+        blockers = set()
+        for other, state in seq.progress.items():
+            if other == name or other in seq.committed_names:
+                continue
+            last = self.window.last_step_of(other)
+            if last is None or last not in predecessors:
+                continue
+            if not self._at_breakpoint(other, self.nest.level(other, name)):
+                blockers.add(other)
+        if blockers:
+            seq.waiting_on[name] = blockers
+            return self._wait_or_break(name, blockers)
+        seq.waiting_on.pop(name, None)
+        return "grant"
+
+    def _wait_or_break(self, name: str, blockers: set[str] | None = None):
+        seq = self.sequencer
+        if not blockers:
+            blockers = {
+                other
+                for other in seq.progress
+                if other != name and other not in seq.committed_names
+            }
+        if not blockers:
+            # Nothing live to wait for: the conflict is against committed
+            # history, so this attempt's own prefix is unextendable.
+            # Roll it back and let a fresh attempt run behind the
+            # committed work.
+            return ("abort", [name])
+        # Every wait must be visible to the deadlock check, whatever its
+        # cause (breakpoint blocker or would-be closure cycle).
+        seq.waiting_on[name] = blockers
+        graph = nx.DiGraph()
+        for waiter, blocking in seq.waiting_on.items():
+            for blocker in blocking:
+                graph.add_edge(waiter, blocker)
+        try:
+            cycle = [u for u, _ in nx.find_cycle(graph)]
+        except nx.NetworkXNoCycle:
+            return "wait"
+        victim = max(cycle, key=seq.priority_key)
+        return ("abort", [victim])
+
+    def on_performed(self, name, record, cut_levels, finished) -> None:
+        if record is not None:
+            self.window.observe(
+                name, record.step, record.entity, record.kind, cut_levels
+            )
+
+    def certify_commit(self, name: str) -> list[str] | None:
+        result = self.window._closure()
+        if result is None or result.is_partial_order:
+            return None
+        seq = self.sequencer
+        owners = {
+            step.transaction
+            for step in result.cycle or ()
+            if step.transaction not in seq.committed_names
+            and step.transaction in seq.attempts
+        }
+        if not owners:
+            owners = {
+                other
+                for other in seq.progress
+                if other not in seq.committed_names
+            }
+        if not owners:
+            return [name]
+        return [max(owners, key=seq.priority_key)]
+
+    def on_commit(self, name: str) -> None:
+        self.sequencer.waiting_on.pop(name, None)
+        self.window.mark_committed(name)
+
+    def on_abort(self, name: str) -> None:
+        self.sequencer.waiting_on.pop(name, None)
+        self.window.drop(name)
+
+
+# ---------------------------------------------------------------------------
+# the sequencer
+# ---------------------------------------------------------------------------
+
+
+class Sequencer:
+    """The concurrency-control brain of the distributed runtime."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        control,
+        entity_owner: Mapping[str, str],
+        origins: Mapping[str, str],
+        arrivals: Mapping[str, float],
+        backoff: float = 6.0,
+        commit_retry: float = 2.0,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.control = control
+        self.entity_owner = dict(entity_owner)
+        self.origins = dict(origins)
+        self.arrivals = dict(arrivals)
+        self.backoff = backoff
+        self.commit_retry = commit_retry
+
+        self.attempts: dict[str, int] = {t: 0 for t in origins}
+        self.locations: dict[str, str] = {}
+        self.progress: dict[str, dict] = {}
+        self.log: list[tuple[tuple[str, int], StepRecord]] = []
+        self.last_writer: dict[str, tuple[str, int]] = {}
+        self.deps: dict[tuple[str, int], set[tuple[str, int]]] = {}
+        self.committed: set[tuple[str, int]] = set()
+        self.committed_names: set[str] = set()
+        self.pending_commit: dict[str, MigratingTransaction] = {}
+        self.waiting_on: dict[str, set[str]] = {}
+        self.results: dict[str, Any] = {}
+        self.final_cut_levels: dict[str, dict[int, int]] = {}
+        # Grants sent whose performed-report has not come back yet, and
+        # transactions condemned to roll back once the pipeline drains.
+        self.outstanding: set[str] = set()
+        self.doomed: set[str] = set()
+        self.commits = 0
+        self.aborts = 0
+        self.deadlocks = 0
+
+        network.register(name, self.handle)
+        control.attach(self)
+
+    # ------------------------------------------------------------------
+
+    def priority_key(self, name: str):
+        """Victims are chosen youngest-first (max key)."""
+        return (self.arrivals.get(name, 0.0), name)
+
+    def handle(self, message: Message) -> None:
+        handler = getattr(self, f"_on_{message.kind.replace('-', '_')}", None)
+        if handler is None:
+            raise NetworkError(f"sequencer cannot handle {message.kind!r}")
+        handler(message.payload)
+
+    # ------------------------------------------------------------------
+
+    def _on_request(self, payload: dict) -> None:
+        name = payload["name"]
+        if payload["attempt"] != self.attempts[name]:
+            self.network.send(
+                payload["node"],
+                Message("discard", {"name": name, "attempt": payload["attempt"]}),
+            )
+            return
+        self.locations[name] = payload["node"]
+        if self.doomed:
+            # A rollback is waiting for in-flight steps to drain; quiesce
+            # new grants so the cascade is computed over a stable log.
+            self.network.send(
+                payload["node"],
+                Message("deny", {"name": name, "attempt": payload["attempt"]}),
+            )
+            return
+        decision = self.control.decide(payload)
+        if decision == "grant":
+            self.outstanding.add(name)
+            self.network.send(
+                payload["node"],
+                Message("grant", {"name": name, "attempt": payload["attempt"]}),
+            )
+        elif decision == "wait":
+            self.network.send(
+                payload["node"],
+                Message("deny", {"name": name, "attempt": payload["attempt"]}),
+            )
+        else:
+            _tag, victims = decision
+            self.deadlocks += 1
+            self._abort(victims)
+            if name not in victims:
+                self.network.send(
+                    payload["node"],
+                    Message("deny", {"name": name, "attempt": payload["attempt"]}),
+                )
+
+    def _on_performed(self, payload: dict) -> None:
+        txn: MigratingTransaction = payload["txn"]
+        name = txn.name
+        if txn.attempt != self.attempts[name]:
+            # Deferred-abort protocol: an abort never executes while a
+            # grant is outstanding, so stale reports cannot occur.
+            raise NetworkError(
+                f"stale performed-report for {name!r} attempt {txn.attempt}"
+            )
+        self.outstanding.discard(name)
+        key = (name, txn.attempt)
+        record: StepRecord | None = payload["record"]
+        if record is not None:
+            writer = self.last_writer.get(record.entity)
+            if writer is not None and writer != key:
+                self.deps.setdefault(key, set()).add(writer)
+            self.log.append((key, record))
+            if not record.is_read_only:
+                self.last_writer[record.entity] = key
+        self.progress[name] = {
+            "steps": txn.steps_taken,
+            "cuts": txn.cut_levels,
+            "finished": txn.finished,
+        }
+        self.control.on_performed(
+            name, record, txn.cut_levels, txn.finished
+        )
+        self._process_doomed()
+        if txn.attempt != self.attempts[name]:
+            return  # the deferred rollback just claimed this transaction
+        if txn.finished:
+            self.pending_commit[name] = txn
+            self._commit_check(name)
+        else:
+            target = self.entity_owner[txn.pending_entity]
+            self.locations[name] = target
+            self.network.send(target, Message("migrate", {"txn": txn}))
+
+    def _on_commit_check(self, payload: dict) -> None:
+        name = payload["name"]
+        if payload["attempt"] != self.attempts[name]:
+            return
+        if name in self.pending_commit:
+            self._commit_check(name)
+
+    def _commit_check(self, name: str) -> None:
+        txn = self.pending_commit[name]
+        key = (name, txn.attempt)
+        if self.doomed:
+            # Never commit while a rollback is pending: the cascade might
+            # still claim this transaction.
+            self.network.send(
+                self.name,
+                Message("commit-check", {"name": name, "attempt": txn.attempt}),
+                delay=self.commit_retry,
+            )
+            return
+        pending = {
+            dep for dep in self.deps.get(key, ()) if dep not in self.committed
+        }
+        if not pending:
+            victims = self.control.certify_commit(name)
+            if victims:
+                self.deadlocks += 1
+                self._abort(victims)
+                if name not in victims and name in self.pending_commit:
+                    self.network.send(
+                        self.name,
+                        Message(
+                            "commit-check",
+                            {"name": name, "attempt": txn.attempt},
+                        ),
+                        delay=self.commit_retry,
+                    )
+                return
+            del self.pending_commit[name]
+            self.committed.add(key)
+            self.committed_names.add(name)
+            self.results[name] = txn.result
+            self.final_cut_levels[name] = txn.cut_levels
+            self.commits += 1
+            self.control.on_commit(name)
+            return
+        cycle = self._dep_cycle(name)
+        if cycle:
+            victim = max(cycle, key=self.priority_key)
+            self.deadlocks += 1
+            self._abort([victim])
+            return
+        self.network.send(
+            self.name,
+            Message("commit-check", {"name": name, "attempt": txn.attempt}),
+            delay=self.commit_retry,
+        )
+
+    def _dep_cycle(self, name: str) -> list[str] | None:
+        graph = nx.DiGraph()
+        for (txn_name, attempt), deps in self.deps.items():
+            if attempt != self.attempts[txn_name]:
+                continue
+            for dep_name, dep_attempt in deps:
+                if (
+                    dep_name not in self.committed_names
+                    and dep_attempt == self.attempts[dep_name]
+                ):
+                    graph.add_edge(txn_name, dep_name)
+        try:
+            return [u for u, _ in nx.find_cycle(graph, source=name)]
+        except (nx.NetworkXNoCycle, nx.NetworkXError):
+            return None
+
+    # ------------------------------------------------------------------
+
+    def _abort(self, victims: Iterable[str]) -> None:
+        self.doomed.update(victims)
+        self._process_doomed()
+
+    def _process_doomed(self) -> None:
+        """Execute pending rollbacks once no performed-report is in
+        flight for anything the cascade could touch."""
+        if not self.doomed:
+            return
+        if self.outstanding:
+            return  # drain first; grants are quiesced meanwhile
+        victims = set(self.doomed)
+        self.doomed.clear()
+        seeds = {(name, self.attempts[name]) for name in victims}
+        cascade = cascade_closure(self.log, seeds)
+        overlap = cascade & self.committed
+        if overlap:
+            raise NetworkError(
+                f"recoverability violated in distributed run: {overlap}"
+            )
+        for entity, value in undo_plan(self.log, cascade):
+            self.network.send(
+                self.entity_owner[entity],
+                Message("undo", {"entity": entity, "value": value}),
+            )
+        self.log = [e for e in self.log if e[0] not in cascade]
+        self.last_writer = {}
+        for key, record in self.log:
+            if not record.is_read_only and key not in self.committed:
+                self.last_writer[record.entity] = key
+        for name, _attempt in sorted(cascade):
+            self.control.on_abort(name)
+            old_attempt = self.attempts[name]
+            self.attempts[name] += 1
+            self.progress.pop(name, None)
+            self.pending_commit.pop(name, None)
+            self.deps.pop((name, old_attempt), None)
+            location = self.locations.get(name)
+            if location is not None:
+                self.network.send(
+                    location,
+                    Message("discard", {"name": name, "attempt": old_attempt}),
+                )
+            self.network.send(
+                self.origins[name],
+                Message("restart", {"name": name, "attempt": self.attempts[name]}),
+                # Exponentially growing restart separation: repeated
+                # mutual aborts must eventually stagger the victims far
+                # enough apart that one finishes before the other starts.
+                delay=self.backoff
+                * min(self.attempts[name], 64)
+                * self.network.rng.uniform(0.5, 1.5),
+            )
+            self.aborts += 1
+
+
+# ---------------------------------------------------------------------------
+# the runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed run."""
+
+    execution: Execution
+    cut_levels: dict[str, dict[int, int]]
+    results: dict[str, Any]
+    makespan: float
+    messages: int
+    messages_by_kind: dict[str, int]
+    commits: int
+    aborts: int
+    deadlocks: int
+    node_count: int = 0
+    control: str = "none"
+
+    def spec(self, nest: KNest) -> InterleavingSpec:
+        return spec_for_execution(self.execution, nest, self.cut_levels)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "control": self.control,
+            "nodes": self.node_count,
+            "makespan": round(self.makespan, 1),
+            "messages": self.messages,
+            "commits": self.commits,
+            "aborts": self.aborts,
+        }
+
+
+class DistributedRuntime:
+    """Wire programs, entities and a control into a simulated cluster."""
+
+    def __init__(
+        self,
+        programs: Iterable[TransactionProgram],
+        initial_values: Mapping[str, Any],
+        control,
+        nodes: int = 4,
+        latency: tuple[float, float] = (1.0, 3.0),
+        seed: int = 0,
+        arrivals: Mapping[str, float] | None = None,
+        retry_delay: float = 2.0,
+        backoff: float = 6.0,
+    ) -> None:
+        programs = list(programs)
+        if nodes < 1:
+            raise NetworkError("need at least one data node")
+        self.network = Network(latency=latency, seed=seed)
+        node_names = [f"node{i}" for i in range(nodes)]
+        entity_owner = {
+            entity: node_names[i % nodes]
+            for i, entity in enumerate(sorted(initial_values))
+        }
+        origins = {
+            program.name: node_names[i % nodes]
+            for i, program in enumerate(programs)
+        }
+        arrivals = dict(arrivals or {})
+        arrival_times = {
+            program.name: arrivals.get(program.name, 0.0)
+            for program in programs
+        }
+        self.control = control
+        self.sequencer = Sequencer(
+            "sequencer",
+            self.network,
+            control,
+            entity_owner,
+            origins,
+            arrival_times,
+            backoff=backoff,
+        )
+        self.nodes: list[DataNode] = []
+        for node_name in node_names:
+            node_entities = {
+                entity: initial_values[entity]
+                for entity, owner in entity_owner.items()
+                if owner == node_name
+            }
+            node_programs = {
+                program.name: program
+                for program in programs
+                if origins[program.name] == node_name
+            }
+            self.nodes.append(
+                DataNode(
+                    node_name,
+                    self.network,
+                    "sequencer",
+                    node_entities,
+                    node_programs,
+                    entity_owner,
+                    retry_delay=retry_delay,
+                )
+            )
+        self._initial_values = dict(initial_values)
+        self._programs = programs
+        self._origins = origins
+        self._arrivals = arrival_times
+
+    def run(self) -> DistributedResult:
+        for program in self._programs:
+            self.network.send(
+                self._origins[program.name],
+                Message("start", {"name": program.name}),
+                delay=self._arrivals[program.name],
+            )
+        makespan = self.network.run()
+        seq = self.sequencer
+        if len(seq.committed_names) != len(self._programs):
+            raise NetworkError(
+                f"distributed run quiesced with only "
+                f"{len(seq.committed_names)}/{len(self._programs)} commits"
+            )
+        records = [
+            record for key, record in seq.log if key in seq.committed
+        ]
+        execution = Execution(records, dict(self._initial_values))
+        execution.validate()
+        return DistributedResult(
+            execution=execution,
+            cut_levels=dict(seq.final_cut_levels),
+            results=dict(seq.results),
+            makespan=makespan,
+            messages=self.network.messages_sent,
+            messages_by_kind=dict(self.network.messages_by_kind),
+            commits=seq.commits,
+            aborts=seq.aborts,
+            deadlocks=seq.deadlocks,
+            node_count=len(self.nodes),
+            control=self.control.name,
+        )

@@ -1,0 +1,167 @@
+"""Data nodes: processors owning a slice of the entities.
+
+A node parks migrating transactions that arrive for one of its entities,
+asks the sequencer for permission, performs granted steps on its local
+store, and reports each performed step (shipping the transaction state
+onward through the sequencer, which routes it to the next owner).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.distributed.migration import MigratingTransaction
+from repro.distributed.network import Message, Network
+from repro.errors import NetworkError
+from repro.model.programs import TransactionProgram
+from repro.model.variables import EntityStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["DataNode"]
+
+
+class DataNode:
+    """One processor: local entities plus home transactions."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        sequencer: str,
+        entities: dict[str, object],
+        home_programs: dict[str, TransactionProgram],
+        entity_owner: dict[str, str],
+        retry_delay: float = 2.0,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.sequencer = sequencer
+        self.store = EntityStore(dict(entities))
+        self.home_programs = dict(home_programs)
+        # The placement catalog: every processor knows which node owns
+        # which entity (how [RSL] transactions know where to migrate).
+        self.entity_owner = dict(entity_owner)
+        self.retry_delay = retry_delay
+        self.parked: dict[str, MigratingTransaction] = {}
+        network.register(name, self.handle)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        handler = getattr(self, f"_on_{message.kind.replace('-', '_')}", None)
+        if handler is None:
+            raise NetworkError(
+                f"node {self.name!r} cannot handle {message.kind!r}"
+            )
+        handler(message.payload)
+
+    # ------------------------------------------------------------------
+
+    def _request(self, txn: MigratingTransaction) -> None:
+        if txn.finished:
+            self.network.send(
+                self.sequencer,
+                Message(
+                    "performed",
+                    {
+                        "txn": txn,
+                        "record": None,
+                        "node": self.name,
+                    },
+                ),
+            )
+            return
+        self.network.send(
+            self.sequencer,
+            Message(
+                "request",
+                {
+                    "name": txn.name,
+                    "attempt": txn.attempt,
+                    "entity": txn.pending_entity,
+                    "kind": txn.pending_kind,
+                    "node": self.name,
+                    "steps_taken": txn.steps_taken,
+                    "cut_levels": txn.cut_levels,
+                },
+            ),
+        )
+
+    def _launch(self, txn: MigratingTransaction) -> None:
+        """Park locally when we own the next entity (or the transaction
+        is already finished); otherwise migrate to the owner."""
+        entity = txn.pending_entity
+        if entity is not None and entity not in self.store:
+            self.network.send(
+                self.entity_owner[entity], Message("migrate", {"txn": txn})
+            )
+            return
+        self.parked[txn.name] = txn
+        self._request(txn)
+
+    def _on_start(self, payload: dict) -> None:
+        name = payload["name"]
+        attempt = payload.get("attempt", 0)
+        program = self.home_programs[name]
+        self._launch(MigratingTransaction(program, self.name, attempt))
+
+    def _on_migrate(self, payload: dict) -> None:
+        txn: MigratingTransaction = payload["txn"]
+        if txn.pending_entity is not None and txn.pending_entity not in self.store:
+            raise NetworkError(
+                f"transaction {txn.name!r} migrated to {self.name!r} which "
+                f"does not own {txn.pending_entity!r}"
+            )
+        self.parked[txn.name] = txn
+        self._request(txn)
+
+    def _on_grant(self, payload: dict) -> None:
+        name = payload["name"]
+        txn = self.parked.get(name)
+        if txn is None or txn.attempt != payload["attempt"]:
+            return  # stale grant for a rolled-back attempt
+        del self.parked[name]
+        record = txn.perform(self.store)
+        # Ship the state onward through the sequencer, which updates its
+        # global picture and routes the transaction to the next owner.
+        self.network.send(
+            self.sequencer,
+            Message(
+                "performed",
+                {"txn": txn, "record": record, "node": self.name},
+            ),
+        )
+
+    def _on_deny(self, payload: dict) -> None:
+        name = payload["name"]
+        txn = self.parked.get(name)
+        if txn is None or txn.attempt != payload["attempt"]:
+            return
+        # Re-request after a local retry timer (each retry is a message).
+        self.network.send(
+            self.name,
+            Message("retry", {"name": name, "attempt": txn.attempt}),
+            delay=self.retry_delay,
+        )
+
+    def _on_retry(self, payload: dict) -> None:
+        txn = self.parked.get(payload["name"])
+        if txn is None or txn.attempt != payload["attempt"]:
+            return
+        self._request(txn)
+
+    def _on_discard(self, payload: dict) -> None:
+        txn = self.parked.get(payload["name"])
+        if txn is not None and txn.attempt == payload["attempt"]:
+            del self.parked[payload["name"]]
+
+    def _on_undo(self, payload: dict) -> None:
+        self.store.restore(payload["entity"], payload["value"])
+
+    def _on_restart(self, payload: dict) -> None:
+        program = self.home_programs[payload["name"]]
+        self._launch(
+            MigratingTransaction(program, self.name, payload["attempt"])
+        )

@@ -1,0 +1,342 @@
+"""On-line maintenance of the coherent closure over a performed prefix.
+
+Section 6's two strategies both revolve around the coherent closure of
+the dependency order of the execution *performed so far*:
+
+* cycle **detection** recomputes the closure after each performed step and
+  rolls back when a cycle appears;
+* cycle **prevention** asks, before performing a step ``b``, which
+  transactions' last steps would precede ``b`` in the closure, and delays
+  ``b`` until each of them sits at a breakpoint of the appropriate level.
+
+The window keeps, per transaction, the steps performed by its *current
+attempt* and the breakpoint levels declared so far; segments that have
+not yet reached their next breakpoint are *open* and simply end at the
+prefix boundary (their eventual last step is unknown — exactly why a
+later step of the same segment can retroactively precede an already
+performed foreign step, which is where cycles come from).
+
+Closure computation reuses :func:`repro.core.coherence.coherent_closure`
+on the prefix specification.  Two maintenance modes (ablated by
+experiment E10):
+
+* ``"full"`` — recompute from the base dependency edges every time;
+* ``"incremental"`` — seed each recomputation with the edge set derived
+  last time.  Sound because closures only grow as the prefix grows.
+
+Committed transactions whose lifetime no longer overlaps any active
+attempt are pruned; reachability through pruned steps is preserved by
+shortcut edges *derived from the committed-only closure* — orderings
+justified through still-active attempts are deliberately excluded, since
+an attempt that later aborts would leave a stale (and potentially
+permanently cyclic) constraint behind.  After an abort the window is
+rebuilt from base edges (derived rule edges may have been justified
+through the dropped steps); committed-only shortcuts are durable and are
+kept."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import networkx as nx
+
+from repro.core.coherence import ClosureResult, coherent_closure
+from repro.core.interleaving import InterleavingSpec
+from repro.core.nests import KNest
+from repro.core.segmentation import BreakpointDescription
+from repro.errors import EngineError
+from repro.model.steps import StepId, StepKind
+
+__all__ = ["ClosureWindow"]
+
+
+class ClosureWindow:
+    """Coherent closure over the live performed prefix."""
+
+    def __init__(
+        self,
+        nest: KNest,
+        mode: str = "incremental",
+        prune_interval: int = 16,
+        conflicts: str = "all",
+    ) -> None:
+        if mode not in ("incremental", "full"):
+            raise EngineError(f"unknown closure mode {mode!r}")
+        if conflicts not in ("all", "rw"):
+            raise EngineError(f"unknown conflict model {conflicts!r}")
+        self.nest = nest
+        self.k = nest.k
+        self.mode = mode
+        self.conflicts = conflicts
+        self.prune_interval = prune_interval
+        self._steps: dict[str, list[StepId]] = {}
+        self._cuts: dict[str, dict[int, int]] = {}
+        self._access_of: dict[StepId, tuple[str, StepKind]] = {}
+        self._order: list[StepId] = []
+        self._committed: set[str] = set()
+        self._shortcut_edges: set[tuple[StepId, StepId]] = set()
+        self._carry_edges: set[tuple[StepId, StepId]] = set()
+        self._commits_since_prune = 0
+        self.closure_calls = 0
+        self.edges_last = 0
+
+    # ------------------------------------------------------------------
+    # window contents
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._order)
+
+    def steps_of(self, name: str) -> list[StepId]:
+        return list(self._steps.get(name, []))
+
+    def last_step_of(self, name: str) -> StepId | None:
+        steps = self._steps.get(name)
+        return steps[-1] if steps else None
+
+    def _spec(
+        self,
+        extra: tuple[str, StepId] | None = None,
+    ) -> InterleavingSpec | None:
+        steps = {n: list(s) for n, s in self._steps.items() if s}
+        cuts = {n: dict(self._cuts.get(n, {})) for n in steps}
+        if extra is not None:
+            name, step = extra
+            steps.setdefault(name, []).append(step)
+            cuts.setdefault(name, dict(self._cuts.get(name, {})))
+        if not steps:
+            return None
+        descriptions = {
+            n: BreakpointDescription.from_cut_levels(
+                s,
+                self.k,
+                {
+                    g: lv
+                    for g, lv in cuts[n].items()
+                    # Levels beyond the nest depth are vacuous: no pair of
+                    # distinct transactions is related that closely.
+                    if g < len(s) - 1 and lv <= self.k
+                },
+            )
+            for n, s in steps.items()
+        }
+        return InterleavingSpec(self.nest.restrict(steps), descriptions)
+
+    def _entity_edges(self, order) -> list[tuple[StepId, StepId]]:
+        edges: list[tuple[StepId, StepId]] = []
+        last: dict[str, StepId] = {}
+        last_write: dict[str, StepId] = {}
+        reads_since: dict[str, list[StepId]] = {}
+        for step in order:
+            entity, kind = self._access_of[step]
+            if self.conflicts == "all":
+                if entity in last:
+                    edges.append((last[entity], step))
+            elif kind is StepKind.READ:
+                if entity in last_write:
+                    edges.append((last_write[entity], step))
+                reads_since.setdefault(entity, []).append(step)
+            else:
+                if entity in last_write:
+                    edges.append((last_write[entity], step))
+                edges.extend(
+                    (reader, step)
+                    for reader in reads_since.get(entity, [])
+                    if reader != step
+                )
+                last_write[entity] = step
+                reads_since[entity] = []
+            last[entity] = step
+        return edges
+
+    # ------------------------------------------------------------------
+    # closure
+    # ------------------------------------------------------------------
+
+    def _closure(
+        self, extra: tuple[str, StepId, str, StepKind] | None = None
+    ) -> ClosureResult | None:
+        order = list(self._order)
+        extra_key = None
+        if extra is not None:
+            name, step, entity, kind = extra
+            self._access_of[step] = (entity, kind)
+            order.append(step)
+            extra_key = (name, step)
+        spec = self._spec(extra_key)
+        if spec is None:
+            if extra is not None:
+                del self._access_of[extra[1]]
+            return None
+        seed = set(self._entity_edges(order)) | self._shortcut_edges
+        if self.mode == "incremental":
+            seed |= self._carry_edges
+        result = coherent_closure(spec, seed)
+        self.closure_calls += 1
+        self.edges_last = result.graph.number_of_edges()
+        if extra is not None:
+            del self._access_of[extra[1]]
+        elif self.mode == "incremental" and result.is_partial_order:
+            self._carry_edges = set(result.graph.edges)
+        return result
+
+    def observe(self, name: str, step: StepId, entity: str,
+                kind: StepKind, cut_levels: Mapping[int, int]) -> ClosureResult:
+        """Record a performed step and return the closure state."""
+        self._steps.setdefault(name, []).append(step)
+        self._cuts[name] = dict(cut_levels)
+        self._access_of[step] = (entity, kind)
+        self._order.append(step)
+        result = self._closure()
+        assert result is not None
+        return result
+
+    def hypothetical(
+        self, name: str, step: StepId, entity: str, kind: StepKind
+    ) -> tuple[bool, set[StepId], set[str]]:
+        """What performing ``step`` would do.
+
+        Returns ``(acyclic, predecessors, cycle_transactions)``: the
+        closure-ancestors of ``step`` when acyclic, or the transactions
+        on the witnessed cycle when performing the step would close one.
+        """
+        result = self._closure(extra=(name, step, entity, kind))
+        if result is None:
+            return True, set(), set()
+        if not result.is_partial_order:
+            owners = {s.transaction for s in result.cycle or ()}
+            return False, set(), owners
+        return True, set(nx.ancestors(result.graph, step)), set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def truncate(self, name: str, keep: int) -> None:
+        """Partial rollback: keep only the first ``keep`` steps of the
+        transaction's current attempt (``recovery="segment"``)."""
+        steps = self._steps.get(name, [])
+        if keep <= 0:
+            self.drop(name)
+            return
+        if keep >= len(steps):
+            return
+        gone = set(steps[keep:])
+        self._steps[name] = steps[:keep]
+        self._cuts[name] = {
+            g: lv
+            for g, lv in self._cuts.get(name, {}).items()
+            if g < keep - 1
+        }
+        self._order = [s for s in self._order if s not in gone]
+        for step in gone:
+            self._access_of.pop(step, None)
+        self._carry_edges = set()
+        self._shortcut_edges = {
+            (u, v)
+            for u, v in self._shortcut_edges
+            if u not in gone and v not in gone
+        }
+
+    def drop(self, name: str) -> None:
+        """Remove an aborted attempt's steps and rebuild carried edges."""
+        gone = set(self._steps.pop(name, []))
+        self._cuts.pop(name, None)
+        self._order = [s for s in self._order if s not in gone]
+        for step in gone:
+            self._access_of.pop(step, None)
+        # Derived edges may have been justified through the dropped steps;
+        # start the carry from scratch (shortcuts are kept, see module doc).
+        self._carry_edges = set()
+        self._shortcut_edges = {
+            (u, v)
+            for u, v in self._shortcut_edges
+            if u not in gone and v not in gone
+        }
+
+    def mark_committed(self, name: str) -> None:
+        self._committed.add(name)
+        self._commits_since_prune += 1
+        if self._commits_since_prune >= self.prune_interval:
+            self._commits_since_prune = 0
+            self._prune()
+
+    def _prune(self) -> None:
+        """Drop committed transactions that ended before every live
+        attempt's first step, preserving reachability via shortcuts."""
+        live_first: list[int] = []
+        position = {s: i for i, s in enumerate(self._order)}
+        for name, steps in self._steps.items():
+            if name not in self._committed and steps:
+                live_first.append(position[steps[0]])
+        watermark = min(live_first) if live_first else len(self._order)
+        prunable = [
+            name
+            for name in self._committed
+            if self._steps.get(name)
+            and all(position[s] < watermark for s in self._steps[name])
+        ]
+        if not prunable:
+            return
+        # Derive shortcuts from the closure over *committed* history only.
+        # Edges justified through still-active attempts must not survive a
+        # prune: if such an attempt later aborts, its orderings were never
+        # real, and a stale shortcut could wedge a permanent cycle among
+        # committed steps into the window.  Committed orderings are
+        # durable, so this restriction is sound by induction.
+        committed_present = sorted(
+            n for n in self._committed if self._steps.get(n)
+        )
+        committed_steps = {
+            s for n in committed_present for s in self._steps[n]
+        }
+        graph: nx.DiGraph = nx.DiGraph()
+        if committed_present:
+            spec = InterleavingSpec(
+                self.nest.restrict(committed_present),
+                {
+                    n: BreakpointDescription.from_cut_levels(
+                        self._steps[n],
+                        self.k,
+                        {
+                            g: lv
+                            for g, lv in self._cuts.get(n, {}).items()
+                            if g < len(self._steps[n]) - 1 and lv <= self.k
+                        },
+                    )
+                    for n in committed_present
+                },
+            )
+            base = set(
+                self._entity_edges(
+                    [s for s in self._order if s in committed_steps]
+                )
+            ) | {
+                (u, v)
+                for u, v in self._shortcut_edges
+                if u in committed_steps and v in committed_steps
+            }
+            graph = coherent_closure(spec, base).graph.copy()
+        for name in prunable:
+            for step in self._steps[name]:
+                preds = list(graph.predecessors(step))
+                succs = list(graph.successors(step))
+                graph.remove_node(step)
+                graph.add_edges_from(
+                    (p, s) for p in preds for s in succs if p != s
+                )
+        for name in prunable:
+            gone = set(self._steps.pop(name))
+            self._cuts.pop(name, None)
+            self._committed.discard(name)
+            self._order = [s for s in self._order if s not in gone]
+            for step in gone:
+                self._access_of.pop(step, None)
+        remaining = set(self._order)
+        self._shortcut_edges = {
+            (u, v)
+            for u, v in graph.edges
+            if u in remaining and v in remaining
+        }
+        self._carry_edges = set(self._shortcut_edges)

@@ -1,0 +1,138 @@
+"""An entity-level lock manager with shared/exclusive modes.
+
+Used by the strict two-phase-locking baseline ([EGLT]) and, in *schedule*
+mode, by the Section 6 prevention scheduler ("beta first gets 'scheduled',
+thereby locking its entity and delaying t'").  Deadlock handling is the
+caller's job: the manager exposes the waits-for edges; the engine detects
+cycles and picks victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import EngineError
+
+__all__ = ["LockManager", "LockMode"]
+
+
+class LockMode:
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _Lock:
+    holders: dict[str, str] = field(default_factory=dict)  # owner -> mode
+    waiters: list[tuple[str, str]] = field(default_factory=list)  # (owner, mode)
+
+
+class LockManager:
+    """Per-entity S/X locks with FIFO wait queues."""
+
+    def __init__(self) -> None:
+        self._locks: dict[str, _Lock] = {}
+
+    # ------------------------------------------------------------------
+
+    def _lock(self, entity: str) -> _Lock:
+        return self._locks.setdefault(entity, _Lock())
+
+    def holders(self, entity: str) -> dict[str, str]:
+        return dict(self._lock(entity).holders)
+
+    def held_by(self, owner: str) -> list[str]:
+        return [
+            entity
+            for entity, lock in self._locks.items()
+            if owner in lock.holders
+        ]
+
+    def _compatible(self, lock: _Lock, owner: str, mode: str) -> bool:
+        for holder, held_mode in lock.holders.items():
+            if holder == owner:
+                continue
+            if mode == LockMode.EXCLUSIVE or held_mode == LockMode.EXCLUSIVE:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def try_acquire(self, owner: str, entity: str, mode: str) -> bool:
+        """Acquire (or upgrade) if compatible; otherwise enqueue the
+        request and return False.
+
+        FIFO fairness: a compatible request still waits behind earlier
+        incompatible waiters, except lock *upgrades* (S -> X by a current
+        holder), which jump the queue to avoid trivial self-deadlock.
+        """
+        lock = self._lock(entity)
+        held = lock.holders.get(owner)
+        if held == LockMode.EXCLUSIVE or (held == mode):
+            return True
+        upgrading = held is not None
+        ahead: list[tuple[str, str]] = []
+        for waiter in lock.waiters:
+            if waiter[0] == owner:
+                break
+            ahead.append(waiter)
+        if self._compatible(lock, owner, mode) and (upgrading or not ahead):
+            lock.holders[owner] = mode
+            lock.waiters = [w for w in lock.waiters if w[0] != owner]
+            return True
+        if not any(w[0] == owner for w in lock.waiters):
+            lock.waiters.append((owner, mode))
+        else:
+            # Keep the strongest requested mode.
+            lock.waiters = [
+                (o, LockMode.EXCLUSIVE if o == owner and (m == LockMode.EXCLUSIVE or mode == LockMode.EXCLUSIVE) else m)
+                for o, m in lock.waiters
+            ]
+        return False
+
+    def release_all(self, owner: str) -> list[str]:
+        """Release everything ``owner`` holds or waits for; returns the
+        entities whose queues may now make progress."""
+        touched = []
+        for entity, lock in self._locks.items():
+            if owner in lock.holders:
+                del lock.holders[owner]
+                touched.append(entity)
+            before = len(lock.waiters)
+            lock.waiters = [w for w in lock.waiters if w[0] != owner]
+            if len(lock.waiters) != before:
+                touched.append(entity)
+        return touched
+
+    # ------------------------------------------------------------------
+
+    def waits_for_edges(self) -> list[tuple[str, str]]:
+        """Edges ``waiter -> holder`` for deadlock detection."""
+        edges = []
+        for lock in self._locks.values():
+            for waiter, mode in lock.waiters:
+                for holder, held_mode in lock.holders.items():
+                    if holder == waiter:
+                        continue
+                    if mode == LockMode.EXCLUSIVE or held_mode == LockMode.EXCLUSIVE:
+                        edges.append((waiter, holder))
+        return edges
+
+    def deadlock_cycle(self) -> list[str] | None:
+        """One waits-for cycle (as a list of owners), or None."""
+        graph = nx.DiGraph(self.waits_for_edges())
+        try:
+            cycle = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [u for u, _ in cycle]
+
+    def assert_consistent(self) -> None:
+        for entity, lock in self._locks.items():
+            modes = set(lock.holders.values())
+            if LockMode.EXCLUSIVE in modes and len(lock.holders) > 1:
+                raise EngineError(
+                    f"lock on {entity!r} held exclusively and shared at once"
+                )

@@ -1,0 +1,87 @@
+"""Engine metrics: the quantities the Section 6 conjectures are about.
+
+The paper argues qualitatively that a multilevel-atomicity concurrency
+control should detect *fewer cycles* (hence roll back less) and admit
+*more interleavings* (hence wait less) than one enforcing strict
+serializability.  These counters are what the benchmark harness reads to
+test those conjectures quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated over one engine run.
+
+    Time is the engine's logical tick (one scheduling decision per tick);
+    latency of a transaction is commit tick minus first-arrival tick.
+    """
+
+    ticks: int = 0
+    steps_performed: int = 0
+    steps_undone: int = 0
+    waits: int = 0
+    commits: int = 0
+    aborts: int = 0
+    restarts: int = 0
+    deadlocks: int = 0
+    cycles_detected: int = 0
+    cascade_aborts: int = 0
+    partial_rollbacks: int = 0
+    steps_preserved: int = 0
+    closure_edges_added: int = 0
+    closure_checks: int = 0
+    closure_seconds: float = 0.0
+    commit_waits: int = 0
+    latency_total: int = 0
+    latency_max: int = 0
+    cascade_chain_max: int = 0
+    per_transaction_latency: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def record_commit(self, name: str, latency: int) -> None:
+        self.commits += 1
+        self.latency_total += latency
+        self.latency_max = max(self.latency_max, latency)
+        self.per_transaction_latency[name] = latency
+
+    def record_cascade(self, size: int) -> None:
+        if size > 1:
+            self.cascade_aborts += size - 1
+        self.cascade_chain_max = max(self.cascade_chain_max, size)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per tick."""
+        return self.commits / self.ticks if self.ticks else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_total / self.commits if self.commits else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per commit (restart pressure)."""
+        return self.aborts / self.commits if self.commits else float("inf")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "ticks": self.ticks,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "waits": self.waits,
+            "deadlocks": self.deadlocks,
+            "cycles_detected": self.cycles_detected,
+            "cascade_aborts": self.cascade_aborts,
+            "throughput": round(self.throughput, 4),
+            "mean_latency": round(self.mean_latency, 2),
+            "abort_rate": round(self.abort_rate, 4) if self.commits else 0.0,
+        }

@@ -1,0 +1,63 @@
+"""Cascading-rollback computation, shared by the engine and the
+distributed sequencer.
+
+The recovery rule: once an attempt's *write* is rolled back, every
+attempt that subsequently accessed that entity (it read the dirty value,
+or overwrote it and undoing by before-images would clobber it) must roll
+back too, recursively.  The closure of that rule over a sequenced access
+log is what :func:`cascade_closure` computes; undoing then proceeds by
+restoring before-images newest-first, which is exactly correct because
+the cascade guarantees every suffix of an affected entity's history is
+wholly rolled back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from typing import TypeVar
+
+from repro.model.steps import StepKind, StepRecord
+
+K = TypeVar("K", bound=Hashable)
+
+__all__ = ["cascade_closure", "undo_plan"]
+
+
+def cascade_closure(
+    entries: Sequence[tuple[K, StepRecord]],
+    seeds: Iterable[K],
+) -> set[K]:
+    """The full victim set implied by rolling back ``seeds``.
+
+    ``entries`` is the live access log in global performance order, as
+    ``(attempt key, record)`` pairs.
+    """
+    cascade = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        per_entity: dict[str, list[tuple[K, StepRecord]]] = {}
+        for key, record in entries:
+            per_entity.setdefault(record.entity, []).append((key, record))
+        for sequence in per_entity.values():
+            tainted = False
+            for key, record in sequence:
+                if tainted and key not in cascade:
+                    cascade.add(key)
+                    changed = True
+                if key in cascade and record.kind is not StepKind.READ:
+                    tainted = True
+    return cascade
+
+
+def undo_plan(
+    entries: Sequence[tuple[K, StepRecord]],
+    cascade: set[K],
+) -> list[tuple[str, object]]:
+    """The ``(entity, value)`` restorations to apply, in order (newest
+    write first)."""
+    plan: list[tuple[str, object]] = []
+    for key, record in reversed(entries):
+        if key in cascade and record.kind is not StepKind.READ:
+            plan.append((record.entity, record.value_before))
+    return plan

@@ -1,0 +1,613 @@
+"""The database engine: transaction attempts, undo, cascades, commits.
+
+The engine drives transaction programs under a pluggable scheduler on a
+logical clock.  One tick = one scheduling decision for one transaction
+(perform a step, wait, commit, or trigger a rollback).  Randomness is a
+seeded generator, so runs are fully replayable.
+
+Responsibilities split:
+
+* the **scheduler** decides admission, waiting and victims;
+* the **engine** owns values, the undo information, *cascading aborts*
+  (any attempt that read — or overwrote — an aborted attempt's write is
+  rolled back too) and the commit rule (an attempt may only commit after
+  every attempt whose uncommitted writes it consumed has committed).
+
+Rolled-back attempts restart from scratch after a randomised backoff: the
+whole transaction program is the paper's *unit of recovery* here, a
+documented design choice (the paper allows the recovery unit to sit
+anywhere between a single atomicity segment and the whole transaction).
+
+The run's final, committed-only execution is re-validated against the
+Section 3.1 consistency requirements before being returned — undo and
+cascade bugs cannot silently corrupt experiment results.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.interleaving import InterleavingSpec
+from repro.core.nests import KNest
+from repro.engine.metrics import Metrics
+from repro.engine.schedulers.base import Action, Decision, Scheduler
+from repro.errors import EngineError
+from repro.model.breakpoints import spec_for_execution
+from repro.model.execution import Execution
+from repro.model.programs import TransactionProgram
+from repro.model.steps import StepKind, StepRecord
+from repro.model.system import _LiveTransaction
+from repro.model.variables import EntityStore
+
+__all__ = ["Engine", "EngineResult", "TxnState"]
+
+
+@dataclass
+class TxnState:
+    """Engine-side state of one transaction across attempts."""
+
+    program: TransactionProgram
+    arrival_tick: int
+    live: _LiveTransaction
+    attempt: int = 0
+    rollbacks: int = 0
+    attempt_start_tick: int = 0
+    wake_tick: int = 0
+    committed: bool = False
+    commit_tick: int | None = None
+    deps: set[tuple[str, int]] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.attempt)
+
+    @property
+    def priority(self) -> int:
+        """Lower = older = higher priority (victims are chosen young)."""
+        return self.arrival_tick
+
+    @property
+    def finished(self) -> bool:
+        return self.live.finished
+
+    @property
+    def steps_taken(self) -> int:
+        return self.live.steps_taken
+
+    def at_breakpoint(self, level: int) -> bool:
+        """Whether the gap right after the last performed step is a
+        breakpoint of ``B(level)`` — i.e. whether a transaction related
+        at ``level`` may be allowed past this transaction's last step.
+
+        A finished transaction is past all its steps, and a transaction
+        that has not taken a step exposes nothing to interrupt; both
+        count as 'at a breakpoint'.
+        """
+        if self.live.finished or self.live.steps_taken == 0:
+            return True
+        declared = self.live.cut_levels.get(self.live.steps_taken - 1)
+        return declared is not None and declared <= level
+
+
+@dataclass
+class _LogEntry:
+    seq: int
+    key: tuple[str, int]
+    record: StepRecord
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine run.
+
+    ``partial`` marks a budgeted (open-system) run stopped before every
+    transaction committed: ``execution`` then contains the committed
+    records *plus* the live prefixes of still-running attempts — the
+    paper's world of "very long, possibly even infinite transactions"
+    observed mid-flight.
+    """
+
+    execution: Execution
+    cut_levels: dict[str, dict[int, int]]
+    results: dict[str, Any]
+    metrics: Metrics
+    commit_order: list[str]
+    partial: bool = False
+
+    def spec(self, nest: KNest) -> InterleavingSpec:
+        """The interleaving specification of the committed execution."""
+        return spec_for_execution(self.execution, nest, self.cut_levels)
+
+
+class Engine:
+    """Run transaction programs under a concurrency control.
+
+    Parameters
+    ----------
+    programs:
+        The transaction programs (names must be unique).
+    initial_values:
+        Entity initial values.
+    scheduler:
+        The concurrency control; see :mod:`repro.engine.schedulers`.
+    seed:
+        Seed for the fair random pick among runnable transactions.
+    arrivals:
+        Optional per-transaction arrival ticks (default: all at tick 0).
+    max_ticks:
+        Safety valve against livelock bugs.
+    stall_limit:
+        Ticks without any performed step or commit before the engine asks
+        the scheduler to resolve a stall by rollback.
+    backoff:
+        Base backoff (in ticks) after a rollback; the actual delay is
+        uniform in ``[1, backoff * attempts]``.
+    """
+
+    def __init__(
+        self,
+        programs: Iterable[TransactionProgram],
+        initial_values: Mapping[str, Any],
+        scheduler: Scheduler,
+        seed: int = 0,
+        arrivals: Mapping[str, int] | None = None,
+        max_ticks: int = 2_000_000,
+        stall_limit: int = 500,
+        backoff: int = 4,
+        recovery: str = "transaction",
+        schedule: list[str] | None = None,
+    ) -> None:
+        if recovery not in ("transaction", "segment"):
+            raise EngineError(f"unknown recovery unit {recovery!r}")
+        self.store = EntityStore(dict(initial_values))
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+        self.metrics = Metrics()
+        self.max_ticks = max_ticks
+        self.stall_limit = stall_limit
+        self.backoff = backoff
+        self.recovery = recovery
+        # Optional deterministic attention order (names consumed one per
+        # tick; unknown/sleeping entries are skipped; falls back to the
+        # seeded random pick when exhausted).  Used by adversarial tests.
+        self._schedule = list(schedule or [])
+        self.tick = 0
+        self._seq = 0
+        self._timestamp = 0
+        arrivals = dict(arrivals or {})
+        self.txns: dict[str, TxnState] = {}
+        for program in programs:
+            if program.name in self.txns:
+                raise EngineError(f"duplicate transaction {program.name!r}")
+            arrival = arrivals.get(program.name, 0)
+            self.txns[program.name] = TxnState(
+                program=program,
+                arrival_tick=arrival,
+                live=_LiveTransaction(program),
+                attempt_start_tick=arrival,
+                wake_tick=arrival,
+            )
+        # Live (not rolled back) performed records, in global order.
+        self._log: list[_LogEntry] = []
+        # Last uncommitted writer per entity, as (name, attempt).
+        self._last_writer: dict[str, tuple[str, int]] = {}
+        self._committed_keys: set[tuple[str, int]] = set()
+        self._commit_order: list[str] = []
+        self._results: dict[str, Any] = {}
+        self._cut_levels: dict[str, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, until_tick: int | None = None) -> EngineResult:
+        """Drive all transactions to commitment and return the committed
+        execution plus metrics.
+
+        With ``until_tick`` the run stops at the tick budget instead,
+        returning a *partial* result that includes the live prefixes of
+        uncommitted attempts — the open-system mode for the paper's
+        arbitrarily long (even infinite) transactions.
+        """
+        self.scheduler.attach(self)
+        last_progress = 0
+        while not all(t.committed for t in self.txns.values()):
+            if until_tick is not None and self.tick >= until_tick:
+                self.metrics.ticks = self.tick
+                return self._result(partial=True)
+            self.tick += 1
+            if self.tick > self.max_ticks:
+                raise EngineError(
+                    f"engine exceeded {self.max_ticks} ticks; livelock?"
+                )
+            candidates = [
+                t
+                for t in self.txns.values()
+                if not t.committed and t.wake_tick <= self.tick
+            ]
+            if not candidates:
+                continue
+            if self.tick - last_progress > self.stall_limit:
+                decision = self.scheduler.on_stall(candidates)
+                if decision.action is Action.ABORT and decision.victims:
+                    self.metrics.deadlocks += 1
+                    self._abort(
+                        decision.victims,
+                        decision.reason or "stall",
+                        dict(decision.victim_points),
+                    )
+                last_progress = self.tick
+                continue
+            txn = None
+            while self._schedule:
+                name = self._schedule.pop(0)
+                state = self.txns.get(name)
+                if state is not None and not state.committed and state.wake_tick <= self.tick:
+                    txn = state
+                    break
+            if txn is None:
+                txn = self.rng.choice(sorted(candidates, key=lambda t: t.name))
+            progressed = self._attend(txn)
+            if progressed:
+                last_progress = self.tick
+        self.metrics.ticks = self.tick
+        return self._result()
+
+    def next_timestamp(self) -> int:
+        self._timestamp += 1
+        return self._timestamp
+
+    @property
+    def log(self) -> list[_LogEntry]:
+        return self._log
+
+    def is_committed(self, key: tuple[str, int]) -> bool:
+        return key in self._committed_keys
+
+    def active_states(self) -> list[TxnState]:
+        return [t for t in self.txns.values() if not t.committed]
+
+    # ------------------------------------------------------------------
+    # the per-tick step
+    # ------------------------------------------------------------------
+
+    def _attend(self, txn: TxnState) -> bool:
+        """Handle one transaction for one tick; True if progress."""
+        if txn.finished:
+            return self._try_commit(txn)
+        access = txn.live.pending
+        assert access is not None
+        decision = self.scheduler.on_request(txn, access)
+        if decision.action is Action.PERFORM:
+            record = self._perform(txn)
+            veto = self.scheduler.after_performed(txn, record)
+            if veto is not None and veto.action is Action.ABORT:
+                self._abort(
+                    veto.victims, veto.reason, dict(veto.victim_points)
+                )
+            return True
+        if decision.action is Action.ABORT:
+            self._abort(
+                decision.victims or (txn.name,),
+                decision.reason,
+                dict(decision.victim_points),
+            )
+            return True
+        self.metrics.waits += 1
+        txn.wake_tick = self.tick + 1
+        return False
+
+    def _perform(self, txn: TxnState) -> StepRecord:
+        access = txn.live.pending
+        assert access is not None
+        writer = self._last_writer.get(access.entity)
+        if writer is not None and writer != txn.key:
+            txn.deps.add(writer)
+        record = txn.live.perform(self.store)
+        self._seq += 1
+        self._log.append(_LogEntry(self._seq, txn.key, record))
+        if record.kind is not StepKind.READ:
+            self._last_writer[access.entity] = txn.key
+        self.metrics.steps_performed += 1
+        return record
+
+    def _try_commit(self, txn: TxnState) -> bool:
+        pending_deps = {
+            dep for dep in txn.deps if dep not in self._committed_keys
+        }
+        if pending_deps:
+            cycle = self._commit_dependency_cycle(txn)
+            if cycle:
+                victim = max(cycle, key=lambda t: (t.priority, t.name))
+                self.metrics.deadlocks += 1
+                self._abort([victim.name], "commit-dependency cycle")
+                return True
+            self.metrics.commit_waits += 1
+            txn.wake_tick = self.tick + 1
+            return False
+        decision = self.scheduler.may_commit(txn)
+        if decision.action is Action.PERFORM:
+            txn.committed = True
+            txn.commit_tick = self.tick
+            self._committed_keys.add(txn.key)
+            self._commit_order.append(txn.name)
+            self._results[txn.name] = txn.live.result
+            self._cut_levels[txn.name] = dict(txn.live.cut_levels)
+            self.metrics.record_commit(txn.name, self.tick - txn.arrival_tick)
+            self.scheduler.on_commit(txn)
+            return True
+        if decision.action is Action.ABORT:
+            self._abort(
+                decision.victims or (txn.name,),
+                decision.reason,
+                dict(decision.victim_points),
+            )
+            return True
+        self.metrics.commit_waits += 1
+        txn.wake_tick = self.tick + 1
+        return False
+
+    def _commit_dependency_cycle(self, txn: TxnState) -> list[TxnState] | None:
+        """Transactions mutually blocked by uncommitted-write consumption
+        (e.g. two attempts that overwrote each other's entities in
+        opposite orders can never satisfy each other's commit rule)."""
+        import networkx as nx
+
+        graph: nx.DiGraph = nx.DiGraph()
+        for state in self.active_states():
+            for dep_name, dep_attempt in state.deps:
+                other = self.txns.get(dep_name)
+                if (
+                    other is not None
+                    and not other.committed
+                    and other.attempt == dep_attempt
+                ):
+                    graph.add_edge(state.name, dep_name)
+        try:
+            cycle = nx.find_cycle(graph, source=txn.name)
+        except (nx.NetworkXNoCycle, nx.NetworkXError):
+            return None
+        return [self.txns[u] for u, _ in cycle]
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+
+    def _cascade(self, seeds: set[tuple[str, int]]) -> set[tuple[str, int]]:
+        """Close the victim set: any attempt that accessed an entity
+        *after* a write by a cascading attempt joins the cascade (it read
+        a dirty value or overwrote one)."""
+        from repro.engine.rollback import cascade_closure
+
+        return cascade_closure(
+            [(entry.key, entry.record) for entry in self._log], seeds
+        )
+
+    def _abort(
+        self,
+        victim_names: Iterable[str],
+        reason: str,
+        points: dict[str, int] | None = None,
+    ) -> None:
+        if self.recovery == "segment":
+            self._abort_segment(victim_names, reason, points or {})
+            return
+        seeds = set()
+        for name in victim_names:
+            txn = self.txns[name]
+            if txn.committed:
+                raise EngineError(
+                    f"scheduler tried to abort committed transaction {name!r}"
+                )
+            seeds.add(txn.key)
+        cascade = self._cascade(seeds)
+        for key in cascade:
+            if key in self._committed_keys:
+                raise EngineError(
+                    f"recoverability violated: committed attempt {key} is in "
+                    f"the cascade of {sorted(seeds)} ({reason})"
+                )
+        self.metrics.record_cascade(len(cascade))
+        # Undo every cascading write, newest first.
+        for entry in reversed(self._log):
+            if entry.key in cascade and entry.record.kind is not StepKind.READ:
+                self.store.restore(entry.record.entity, entry.record.value_before)
+                self.metrics.steps_undone += 1
+        self._log = [e for e in self._log if e.key not in cascade]
+        # Recompute last uncommitted writers from the surviving log.
+        self._last_writer = {}
+        for entry in self._log:
+            if (
+                entry.record.kind is not StepKind.READ
+                and entry.key not in self._committed_keys
+            ):
+                self._last_writer[entry.record.entity] = entry.key
+        # Restart the cascading attempts (sorted: deterministic across
+        # processes regardless of hash randomisation).
+        for name, _attempt in sorted(cascade):
+            txn = self.txns[name]
+            self.scheduler.on_abort(txn)
+            txn.attempt += 1
+            txn.live = _LiveTransaction(txn.program)
+            txn.deps = set()
+            txn.attempt_start_tick = self.tick
+            txn.wake_tick = self.tick + self.rng.randint(
+                1, self.backoff * min(txn.attempt, 64)
+            )
+            self.metrics.aborts += 1
+            self.metrics.restarts += 1
+
+    # ------------------------------------------------------------------
+    # segment-unit recovery (the paper's intermediate recovery unit)
+    # ------------------------------------------------------------------
+
+    def _safe_point(self, txn: TxnState, index: int) -> int:
+        """The latest declared breakpoint boundary at or before ``index``
+        in the transaction's current attempt: the start of the atomicity
+        segment containing step ``index``."""
+        index = max(0, min(index, txn.live.steps_taken))
+        boundaries = [
+            gap + 1
+            for gap in txn.live.cut_levels
+            if gap + 1 <= index
+        ]
+        return max(boundaries, default=0)
+
+    def _abort_segment(
+        self,
+        victim_names: Iterable[str],
+        reason: str,
+        points: dict[str, int],
+    ) -> None:
+        """Roll each victim back to the latest breakpoint before its
+        invalidated step (whole-transaction when no point is given), then
+        cascade at *record* granularity: any access after an undone write
+        is itself invalidated back to its own segment boundary."""
+        infinity = 1 << 60
+        invalid: dict[tuple[str, int], int] = {}
+        for name in victim_names:
+            txn = self.txns[name]
+            if txn.committed:
+                raise EngineError(
+                    f"scheduler tried to abort committed transaction {name!r}"
+                )
+            point = self._safe_point(txn, points.get(name, 0))
+            invalid[txn.key] = min(invalid.get(txn.key, infinity), point)
+
+        # Escalate chronic partial-rollback victims to a full restart:
+        # rolling back to the same segment start over and over cannot make
+        # progress if the conflict pattern is stable.
+        for key in list(invalid):
+            txn = self.txns[key[0]]
+            if invalid[key] > 0 and txn.rollbacks and txn.rollbacks % 8 == 0:
+                invalid[key] = 0
+
+        changed = True
+        while changed:
+            changed = False
+            per_entity: dict[str, list[_LogEntry]] = {}
+            for entry in self._log:
+                per_entity.setdefault(entry.record.entity, []).append(entry)
+            for entries in per_entity.values():
+                tainted = False
+                for entry in entries:
+                    undone = (
+                        entry.key in invalid
+                        and entry.record.step.index >= invalid[entry.key]
+                    )
+                    if tainted and not undone:
+                        if entry.key in self._committed_keys:
+                            raise EngineError(
+                                "recoverability violated: committed attempt "
+                                f"{entry.key} consumed an undone write "
+                                f"({reason})"
+                            )
+                        txn = self.txns[entry.key[0]]
+                        point = self._safe_point(txn, entry.record.step.index)
+                        current = invalid.get(entry.key, infinity)
+                        invalid[entry.key] = min(current, point)
+                        changed = True
+                        undone = True
+                    if undone and entry.record.kind is not StepKind.READ:
+                        tainted = True
+
+        self.metrics.record_cascade(len(invalid))
+        # Undo invalidated writes, newest first.
+        for entry in reversed(self._log):
+            if (
+                entry.key in invalid
+                and entry.record.step.index >= invalid[entry.key]
+                and entry.record.kind is not StepKind.READ
+            ):
+                self.store.restore(
+                    entry.record.entity, entry.record.value_before
+                )
+                self.metrics.steps_undone += 1
+        self._log = [
+            e
+            for e in self._log
+            if not (
+                e.key in invalid
+                and e.record.step.index >= invalid[e.key]
+            )
+        ]
+        self._recompute_dependencies()
+        # Rewind the affected attempts.
+        for (name, _attempt), keep in sorted(invalid.items()):
+            txn = self.txns[name]
+            txn.rollbacks += 1
+            self.scheduler.on_rollback(txn, keep)
+            if keep == 0:
+                txn.attempt += 1
+                txn.live = _LiveTransaction(txn.program)
+                txn.attempt_start_tick = self.tick
+                self.metrics.aborts += 1
+                self.metrics.restarts += 1
+            else:
+                fresh = _LiveTransaction(txn.program)
+                fresh.fast_forward(txn.live.results_log[:keep])
+                txn.live = fresh
+                self.metrics.partial_rollbacks += 1
+                self.metrics.steps_preserved += keep
+            txn.wake_tick = self.tick + self.rng.randint(
+                1, self.backoff * min(txn.rollbacks, 64)
+            )
+
+    def _recompute_dependencies(self) -> None:
+        """Rebuild last-writer tracking and all active attempts' commit
+        dependencies from the surviving log."""
+        self._last_writer = {}
+        for txn in self.txns.values():
+            if not txn.committed:
+                txn.deps = set()
+        last_writer: dict[str, tuple[str, int]] = {}
+        for entry in self._log:
+            writer = last_writer.get(entry.record.entity)
+            if (
+                writer is not None
+                and writer != entry.key
+                and writer not in self._committed_keys
+                and entry.key not in self._committed_keys
+            ):
+                self.txns[entry.key[0]].deps.add(writer)
+            if entry.record.kind is not StepKind.READ:
+                last_writer[entry.record.entity] = entry.key
+                if entry.key not in self._committed_keys:
+                    self._last_writer[entry.record.entity] = entry.key
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+
+    def _result(self, partial: bool = False) -> EngineResult:
+        live_keys = {
+            txn.key for txn in self.txns.values() if not txn.committed
+        }
+        records = [
+            entry.record
+            for entry in self._log
+            if entry.key in self._committed_keys
+            or (partial and entry.key in live_keys)
+        ]
+        execution = Execution(records, self.store.initial_snapshot())
+        execution.validate()  # undo/cascade bugs cannot pass silently
+        cut_levels = dict(self._cut_levels)
+        if partial:
+            for txn in self.txns.values():
+                if not txn.committed and txn.steps_taken:
+                    cut_levels[txn.name] = dict(txn.live.cut_levels)
+        return EngineResult(
+            execution=execution,
+            cut_levels=cut_levels,
+            results=dict(self._results),
+            metrics=self.metrics,
+            commit_order=list(self._commit_order),
+            partial=partial,
+        )

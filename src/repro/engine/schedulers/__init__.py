@@ -1,0 +1,36 @@
+"""Concurrency controls for the engine.
+
+* :class:`~repro.engine.schedulers.base.Scheduler` — no control at all
+  (arbitrary interleavings; the contrast case for experiment E5).
+* :class:`~repro.engine.schedulers.serial.SerialScheduler` — one
+  transaction at a time (the concurrency floor).
+* :class:`~repro.engine.schedulers.two_phase.TwoPhaseLockingScheduler` —
+  strict 2PL ([EGLT]).
+* :class:`~repro.engine.schedulers.timestamp.TimestampScheduler` —
+  timestamp ordering ([L]).
+* :class:`~repro.engine.schedulers.mla_detect.MLADetectScheduler` —
+  Section 6 cycle detection over the coherent closure (with the flat
+  2-nest: classical serialization-graph testing).
+* :class:`~repro.engine.schedulers.mla_prevent.MLAPreventScheduler` —
+  Section 6 cycle prevention by waiting for breakpoints.
+"""
+
+from repro.engine.schedulers.base import Action, Decision, Scheduler
+from repro.engine.schedulers.mla_detect import MLADetectScheduler
+from repro.engine.schedulers.mla_prevent import MLAPreventScheduler
+from repro.engine.schedulers.nested_lock import NestedLockScheduler
+from repro.engine.schedulers.serial import SerialScheduler
+from repro.engine.schedulers.timestamp import TimestampScheduler
+from repro.engine.schedulers.two_phase import TwoPhaseLockingScheduler
+
+__all__ = [
+    "Action",
+    "Decision",
+    "Scheduler",
+    "SerialScheduler",
+    "TwoPhaseLockingScheduler",
+    "TimestampScheduler",
+    "MLADetectScheduler",
+    "MLAPreventScheduler",
+    "NestedLockScheduler",
+]

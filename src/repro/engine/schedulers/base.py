@@ -1,0 +1,144 @@
+"""The scheduler interface of the engine.
+
+A scheduler is consulted by the engine at three points:
+
+* :meth:`Scheduler.on_request` — a transaction has a pending access; may
+  it perform now, must it wait, or should somebody be rolled back?
+* :meth:`Scheduler.after_performed` — a step was just performed; the
+  Section 6 *cycle-detection* strategy reacts here (the step may have
+  closed a cycle in the coherent closure, forcing a rollback).
+* :meth:`Scheduler.may_commit` — a finished transaction asks to commit.
+
+Schedulers never touch entity values; the engine owns stores, undo and
+cascades.  Victim sets returned in :class:`Decision` are transaction
+names whose *current attempts* the engine will roll back and restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.runtime import Engine, TxnState
+    from repro.model.programs import Access
+    from repro.model.steps import StepRecord
+
+__all__ = ["Action", "Decision", "Scheduler"]
+
+
+class Action(Enum):
+    PERFORM = "perform"
+    WAIT = "wait"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A scheduling verdict.  ``victims`` accompanies ``ABORT``.
+
+    ``victim_points`` optionally names, per victim, the first step index
+    that must be undone.  Under the engine's ``recovery="segment"`` mode
+    the victim is rolled back only to its latest breakpoint at or before
+    that step (the paper's intermediate *unit of recovery*); without a
+    point — or under the default whole-transaction recovery — the victim
+    restarts from scratch.
+    """
+
+    action: Action
+    victims: tuple[str, ...] = ()
+    reason: str = ""
+    victim_points: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def perform(cls) -> "Decision":
+        return cls(Action.PERFORM)
+
+    @classmethod
+    def wait(cls, reason: str = "") -> "Decision":
+        return cls(Action.WAIT, reason=reason)
+
+    @classmethod
+    def abort(cls, victims, reason: str = "", points=None) -> "Decision":
+        return cls(
+            Action.ABORT,
+            tuple(victims),
+            reason=reason,
+            victim_points=tuple((points or {}).items()),
+        )
+
+
+class Scheduler:
+    """Base class: admit everything (no concurrency control at all).
+
+    Running the engine with the base scheduler yields arbitrary
+    interleavings — the contrast workload for experiment E5, where the
+    audit invariant visibly breaks without control.
+    """
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.engine: "Engine | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, engine: "Engine") -> None:
+        """Called once by the engine before the run starts."""
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # decision points
+    # ------------------------------------------------------------------
+
+    def on_request(self, txn: "TxnState", access: "Access") -> Decision:
+        return Decision.perform()
+
+    def after_performed(
+        self, txn: "TxnState", record: "StepRecord"
+    ) -> Decision | None:
+        """Optionally veto a just-performed step (cycle detection)."""
+        return None
+
+    def may_commit(self, txn: "TxnState") -> Decision:
+        return Decision.perform()
+
+    # ------------------------------------------------------------------
+    # notifications
+    # ------------------------------------------------------------------
+
+    def on_commit(self, txn: "TxnState") -> None:
+        pass
+
+    def on_abort(self, txn: "TxnState") -> None:
+        pass
+
+    def on_rollback(self, txn: "TxnState", keep_steps: int) -> None:
+        """Partial-rollback notification (``recovery="segment"``): the
+        transaction keeps its first ``keep_steps`` steps.  Default: treat
+        a rollback-to-zero like a full abort and ignore the rest."""
+        if keep_steps == 0:
+            self.on_abort(txn)
+
+    def on_stall(self, active: list["TxnState"]) -> Decision:
+        """Called when no transaction has made progress for a while.
+
+        Default: roll back a randomly chosen transaction among the
+        youngest-priority tier (the paper's priority/rollback mechanism
+        "to insure that no initiated transaction gets blocked
+        indefinitely").  Randomising within the tier matters: a
+        deterministic pick can shoot the same innocent bystander forever
+        while the genuinely deadlocked pair never budges.
+        """
+        worst = max(t.priority for t in active)
+        tier = sorted(
+            (t for t in active if t.priority == worst), key=lambda t: t.name
+        )
+        if self.engine is not None:
+            victim = self.engine.rng.choice(tier)
+        else:  # pragma: no cover - engine always attaches first
+            victim = tier[-1]
+        return Decision.abort([victim.name], "stall")

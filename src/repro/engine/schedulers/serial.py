@@ -1,0 +1,44 @@
+"""The serial scheduler: one transaction at a time.
+
+The concurrency floor: admits steps of a single uncommitted transaction
+until it commits, then moves to the next by arrival order.  Every
+execution it produces is serial, hence trivially multilevel atomic for
+every specification (Section 4.3: with no interior breakpoints used, the
+multilevel-atomic executions are exactly the serial ones).
+"""
+
+from __future__ import annotations
+
+from repro.engine.schedulers.base import Decision, Scheduler
+
+__all__ = ["SerialScheduler"]
+
+
+class SerialScheduler(Scheduler):
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._holder: str | None = None
+
+    def on_request(self, txn, access) -> Decision:
+        if self._holder is None:
+            self._holder = txn.name
+        if self._holder == txn.name:
+            return Decision.perform()
+        return Decision.wait(f"serial: {self._holder} is running")
+
+    def may_commit(self, txn) -> Decision:
+        # A transaction with no steps may commit while another holds the
+        # token; otherwise only the holder commits.
+        if self._holder in (None, txn.name):
+            return Decision.perform()
+        return Decision.wait("serial: not the running transaction")
+
+    def on_commit(self, txn) -> None:
+        if self._holder == txn.name:
+            self._holder = None
+
+    def on_abort(self, txn) -> None:
+        if self._holder == txn.name:
+            self._holder = None

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the multilevel-atomicity reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SpecificationError(ReproError):
+    """A formal object (nest, segmentation, breakpoint description,
+    interleaving specification) violates the definitions of the paper."""
+
+
+class NotAPartialOrderError(ReproError):
+    """A relation expected to be a (strict) partial order contains a cycle."""
+
+
+class NotCoherentError(ReproError):
+    """A relation expected to be coherent violates coherence condition (a)
+    or (b) of Section 4.2."""
+
+
+class NotCorrectableError(ReproError):
+    """An execution is not equivalent to any multilevel-atomic execution
+    (Theorem 2: the coherent closure of its dependency order has a cycle)."""
+
+
+class ExecutionError(ReproError):
+    """An execution violates the consistency requirements of Section 3.1
+    (stale process state or stale variable value)."""
+
+
+class TransactionAborted(ReproError):
+    """Raised inside a transaction program when the engine rolls it back."""
+
+    def __init__(self, transaction_id: str, reason: str = "") -> None:
+        super().__init__(f"transaction {transaction_id!r} aborted: {reason}")
+        self.transaction_id = transaction_id
+        self.reason = reason
+
+
+class DeadlockDetected(ReproError):
+    """The scheduler found a cycle in its waits-for graph."""
+
+
+class EngineError(ReproError):
+    """Generic engine misuse (e.g. accessing an unknown entity)."""
+
+
+class NetworkError(ReproError):
+    """Misuse of the simulated network in the distributed substrate."""

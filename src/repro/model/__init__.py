@@ -1,0 +1,66 @@
+"""The Section 3 substrate: transactions-as-processes over entities.
+
+Public surface:
+
+* :mod:`~repro.model.steps` — step identities and records.
+* :mod:`~repro.model.variables` — the entity store.
+* :mod:`~repro.model.programs` — generator-based transaction programs
+  (``read``/``write``/``update`` accesses and inline ``Breakpoint``\\ s).
+* :mod:`~repro.model.system` — interleaved and serial runs.
+* :mod:`~repro.model.execution` — executions, dependency orders,
+  equivalence and replay validation.
+* :mod:`~repro.model.breakpoints` — deriving interleaving specifications
+  from runs; the Section 6 compatibility condition.
+* :mod:`~repro.model.appdb` — application databases with the
+  multilevel-atomicity criterion (the top-level user API).
+"""
+
+from repro.model.appdb import ApplicationDatabase, ClassifiedRun
+from repro.model.automata import Automaton, Transition, automaton_program
+from repro.model.breakpoints import (
+    check_program_compatibility,
+    description_from_cut_levels,
+    prefix_compatible,
+    spec_for_execution,
+    spec_for_run,
+)
+from repro.model.execution import Execution
+from repro.model.programs import (
+    Access,
+    Breakpoint,
+    TransactionProgram,
+    read,
+    straight_line_program,
+    update,
+    write,
+)
+from repro.model.steps import StepId, StepKind, StepRecord
+from repro.model.system import System, SystemRun
+from repro.model.variables import EntityStore
+
+__all__ = [
+    "Automaton",
+    "Transition",
+    "automaton_program",
+    "StepId",
+    "StepKind",
+    "StepRecord",
+    "EntityStore",
+    "Access",
+    "Breakpoint",
+    "read",
+    "write",
+    "update",
+    "TransactionProgram",
+    "straight_line_program",
+    "System",
+    "SystemRun",
+    "Execution",
+    "description_from_cut_levels",
+    "spec_for_run",
+    "spec_for_execution",
+    "prefix_compatible",
+    "check_program_compatibility",
+    "ApplicationDatabase",
+    "ClassifiedRun",
+]

@@ -1,0 +1,129 @@
+"""The paper's literal process model: nondeterministic automata.
+
+Section 3.1 formalises transactions as automata: "Processes have states
+(including start states and possibly also final states), while variables
+take on values.  An atomic execution step of a process involves accessing
+one variable and possibly changing the process' state or the variable's
+value or both."
+
+The generator-based :mod:`repro.model.programs` API is the ergonomic
+surface; this module provides the formal object — an explicit automaton
+with a state set, a per-state entity choice and a transition function —
+plus the bridge that turns one into a runnable
+:class:`~repro.model.programs.TransactionProgram`.  Garcia-Molina's
+"transactions with revoking actions" ([G], cited in Section 3.2 as "a
+particular type of nondeterministic transaction in the present model")
+are expressible directly: a revoking automaton branches, on the value it
+reads, into a state whose next accesses undo its earlier effects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.model.programs import Access, Breakpoint, TransactionProgram
+from repro.model.steps import StepKind
+
+__all__ = ["Transition", "Automaton", "automaton_program"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """The outcome of one automaton step.
+
+    ``new_value`` replaces the accessed entity's value; ``next_state`` is
+    the automaton's new state; ``breakpoint_level``, when set, declares a
+    breakpoint of that level *after* this step.
+    """
+
+    new_value: Any
+    next_state: State
+    breakpoint_level: int | None = None
+
+
+@dataclass
+class Automaton:
+    """A Section 3.1 process: states, entity choice and transitions.
+
+    Parameters
+    ----------
+    start:
+        The start state.
+    entity_of:
+        ``state -> entity name`` — which entity the automaton accesses
+        when in ``state``.
+    delta:
+        ``(state, value) -> Transition`` — the (possibly value-dependent,
+        hence conditional) transition function.  Nondeterminism is
+        expressed by closing over external choice or randomness injected
+        at construction time; the execution model itself stays
+        deterministic and replayable.
+    final_states:
+        States in which the automaton halts.  The paper drops the
+        fairness assumption, so an automaton need not ever reach one; the
+        engine's budgeted runs (``run(until_tick=...)``) handle such
+        infinite processes.
+    """
+
+    start: State
+    entity_of: Callable[[State], str]
+    delta: Callable[[State, Any], Transition]
+    final_states: frozenset = field(default_factory=frozenset)
+    max_steps: int | None = None
+
+    def is_final(self, state: State) -> bool:
+        return state in self.final_states
+
+    def run_states(self, values: list[Any]) -> list[State]:
+        """The state sequence induced by a sequence of read values
+        (useful for testing transition functions in isolation)."""
+        state = self.start
+        states = [state]
+        for value in values:
+            if self.is_final(state):
+                break
+            state = self.delta(state, value).next_state
+            states.append(state)
+        return states
+
+
+def automaton_program(name: str, automaton: Automaton) -> TransactionProgram:
+    """Wrap an automaton as a runnable transaction program.
+
+    Each automaton step becomes one engine access; declared breakpoints
+    are emitted between steps.  ``max_steps`` (when set) bounds runaway
+    automata at the program level.
+    """
+
+    def body():
+        state = automaton.start
+        steps = 0
+        while not automaton.is_final(state):
+            if automaton.max_steps is not None and steps >= automaton.max_steps:
+                raise SpecificationError(
+                    f"automaton {name!r} exceeded {automaton.max_steps} steps"
+                )
+            entity = automaton.entity_of(state)
+            box: dict[str, Transition] = {}
+
+            def access_fn(value, _state=state, _box=box):
+                transition = automaton.delta(_state, value)
+                _box["t"] = transition
+                return transition.new_value, value
+
+            yield Access(entity, access_fn, StepKind.UPDATE)
+            transition = box["t"]
+            steps += 1
+            if (
+                transition.breakpoint_level is not None
+                and not automaton.is_final(transition.next_state)
+            ):
+                yield Breakpoint(transition.breakpoint_level)
+            state = transition.next_state
+
+    return TransactionProgram(name, body)

@@ -1,0 +1,143 @@
+"""Deriving interleaving specifications from runs, and the Section 6
+compatibility condition.
+
+A k-level breakpoint *specification* assigns a breakpoint description to
+every execution of every transaction (Section 4.3).  For program-defined
+transactions the description of a particular execution is determined by
+the ``Breakpoint`` effects the program emitted during that execution;
+:func:`spec_for_run` packages those, for the transactions that actually
+took part, into the :class:`~repro.core.interleaving.InterleavingSpec`
+that Theorem 2 consumes.
+
+Section 6 additionally needs the *compatibility condition* for on-line
+breakpoint determination: if two executions of a transaction share a
+common prefix, either both have a breakpoint immediately after it or
+neither does.  Programs satisfy this by construction when deterministic
+(the generator's behaviour is a function of the results it received), but
+:func:`prefix_compatible` and :func:`check_program_compatibility` verify
+it for recorded runs and for programs exercised across many environments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.interleaving import InterleavingSpec
+from repro.core.nests import KNest
+from repro.core.segmentation import BreakpointDescription
+from repro.errors import SpecificationError
+from repro.model.execution import Execution
+from repro.model.steps import StepId
+from repro.model.system import System, SystemRun
+
+__all__ = [
+    "description_from_cut_levels",
+    "spec_for_run",
+    "spec_for_execution",
+    "prefix_compatible",
+    "check_program_compatibility",
+]
+
+
+def description_from_cut_levels(
+    steps: Sequence[StepId],
+    cut_levels: dict[int, int],
+    k: int,
+) -> BreakpointDescription:
+    """Build a k-level description for one transaction's executed steps
+    from the breakpoint levels its program declared."""
+    usable = {
+        gap: lvl
+        for gap, lvl in cut_levels.items()
+        # Gaps past the executed prefix and levels beyond the nest depth
+        # are both vacuous (the latter cannot be seen by any distinct
+        # pair of transactions).
+        if gap < len(steps) - 1 and lvl <= k
+    }
+    return BreakpointDescription.from_cut_levels(steps, k, usable)
+
+
+def spec_for_run(run: SystemRun, nest: KNest) -> InterleavingSpec:
+    """The interleaving specification for one run's execution, restricted
+    to the transactions that took at least one step."""
+    return spec_for_execution(run.execution, nest, run.cut_levels)
+
+
+def spec_for_execution(
+    execution: Execution,
+    nest: KNest,
+    cut_levels: dict[str, dict[int, int]],
+) -> InterleavingSpec:
+    """The specification for an arbitrary execution given per-transaction
+    declared breakpoint levels."""
+    active = [t for t in execution.transactions if execution.steps_of(t)]
+    if not active:
+        raise SpecificationError("execution has no steps")
+    unknown = set(active) - set(nest.items)
+    if unknown:
+        raise SpecificationError(
+            f"execution mentions transactions missing from the nest: "
+            f"{sorted(unknown)}"
+        )
+    descriptions = {
+        t: description_from_cut_levels(
+            execution.steps_of(t), cut_levels.get(t, {}), nest.k
+        )
+        for t in active
+    }
+    return InterleavingSpec(nest.restrict(active), descriptions)
+
+
+def prefix_compatible(
+    cut_levels_a: dict[int, int],
+    cut_levels_b: dict[int, int],
+    common_steps: int,
+) -> bool:
+    """Whether two executions of one transaction agree on every breakpoint
+    strictly inside their common ``common_steps``-step prefix."""
+    for gap in range(max(common_steps - 1, 0)):
+        if cut_levels_a.get(gap) != cut_levels_b.get(gap):
+            return False
+    return True
+
+
+def _access_signature(execution: Execution, transaction: str):
+    return [
+        (r.entity, r.kind) for r in execution.records_of(transaction)
+    ]
+
+
+def check_program_compatibility(
+    system_factory,
+    environments: Iterable[dict],
+    transaction: str,
+) -> bool:
+    """Exercise one transaction across several entity environments and
+    check the Section 6 compatibility condition over all pairs of runs.
+
+    ``system_factory(initial_values)`` must build a
+    :class:`~repro.model.system.System` containing ``transaction``; each
+    environment is run solo (serial), and every pair of resulting
+    executions is compared on its longest common access-signature prefix.
+    """
+    runs = []
+    for environment in environments:
+        system: System = system_factory(environment)
+        run = system.serial_run(order=[transaction])
+        runs.append(run)
+    for i, run_a in enumerate(runs):
+        sig_a = _access_signature(run_a.execution, transaction)
+        for run_b in runs[i + 1 :]:
+            sig_b = _access_signature(run_b.execution, transaction)
+            common = 0
+            for x, y in zip(sig_a, sig_b):
+                if x != y:
+                    break
+                common += 1
+            if not prefix_compatible(
+                run_a.cut_levels[transaction],
+                run_b.cut_levels[transaction],
+                common,
+            ):
+                return False
+    return True

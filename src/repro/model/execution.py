@@ -1,0 +1,240 @@
+"""Executions, the dependency order and equivalence (Section 3.1).
+
+An execution is a totally ordered set of performed steps.  Its
+*dependency partial order* ``<=_e`` relates ``a <=_e b`` when ``a``
+precedes ``b`` and they involve the same transaction or access the same
+entity; any reordering consistent with ``<=_e`` is again an execution with
+the same per-entity value sequences and per-transaction state sequences,
+and two executions are *equivalent* when their dependency orders are
+identical.
+
+We keep the generating edges sparse: the immediate same-transaction
+predecessor and the immediate same-entity predecessor of each step.
+Same-transaction steps form a chain and same-entity steps form a chain,
+so the transitive closure of these immediate edges is exactly ``<=_e``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ExecutionError
+from repro.model.steps import StepId, StepKind, StepRecord
+
+__all__ = ["Execution"]
+
+
+@dataclass
+class Execution:
+    """A totally ordered sequence of performed step records, plus the
+    initial entity values they started from."""
+
+    records: list[StepRecord]
+    initial_values: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen: set[StepId] = set()
+        for record in self.records:
+            if record.step in seen:
+                raise ExecutionError(f"step {record.step} performed twice")
+            seen.add(record.step)
+
+    # ------------------------------------------------------------------
+    # shape queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def steps(self) -> list[StepId]:
+        return [r.step for r in self.records]
+
+    @property
+    def transactions(self) -> list[str]:
+        """Transaction ids in order of first appearance."""
+        out: list[str] = []
+        seen: set[str] = set()
+        for record in self.records:
+            if record.step.transaction not in seen:
+                seen.add(record.step.transaction)
+                out.append(record.step.transaction)
+        return out
+
+    def steps_of(self, transaction: str) -> list[StepId]:
+        return [
+            r.step for r in self.records if r.step.transaction == transaction
+        ]
+
+    def records_of(self, transaction: str) -> list[StepRecord]:
+        return [r for r in self.records if r.step.transaction == transaction]
+
+    def record_of(self, step: StepId) -> StepRecord:
+        for record in self.records:
+            if record.step == step:
+                return record
+        raise ExecutionError(f"no record for step {step}")
+
+    # ------------------------------------------------------------------
+    # dependency order
+    # ------------------------------------------------------------------
+
+    def dependency_edges(
+        self, conflicts: str = "all"
+    ) -> list[tuple[StepId, StepId]]:
+        """Immediate generating edges of ``<=_e``.
+
+        ``conflicts`` selects the conflict model:
+
+        * ``"all"`` (paper-faithful, Section 3.1): *every* pair of
+          same-entity accesses is ordered — each step gets an edge from
+          the previous access of its entity, reads included.
+        * ``"rw"`` (classical): only read-write, write-read and
+          write-write pairs conflict; two reads of the same entity
+          commute.  This is the model under which shared read locks are
+          sound, provided as an explicit deviation for the baseline
+          ablations.
+        """
+        if conflicts not in ("all", "rw"):
+            raise ExecutionError(f"unknown conflict model {conflicts!r}")
+        edges: list[tuple[StepId, StepId]] = []
+        last_of_txn: dict[str, StepId] = {}
+        last_access: dict[str, StepId] = {}
+        last_write: dict[str, StepId] = {}
+        reads_since_write: dict[str, list[StepId]] = {}
+        for record in self.records:
+            step = record.step
+            prev_t = last_of_txn.get(step.transaction)
+            if prev_t is not None:
+                edges.append((prev_t, step))
+            if conflicts == "all":
+                prev_e = last_access.get(record.entity)
+                if prev_e is not None and prev_e != prev_t:
+                    edges.append((prev_e, step))
+            else:
+                if record.kind is StepKind.READ:
+                    prev_w = last_write.get(record.entity)
+                    if prev_w is not None and prev_w != prev_t:
+                        edges.append((prev_w, step))
+                    reads_since_write.setdefault(record.entity, []).append(step)
+                else:
+                    prev_w = last_write.get(record.entity)
+                    if prev_w is not None and prev_w != prev_t:
+                        edges.append((prev_w, step))
+                    for reader in reads_since_write.get(record.entity, []):
+                        if reader not in (prev_t, step):
+                            edges.append((reader, step))
+                    last_write[record.entity] = step
+                    reads_since_write[record.entity] = []
+            last_of_txn[step.transaction] = step
+            last_access[record.entity] = step
+        return edges
+
+    def dependency_graph(self, conflicts: str = "all") -> nx.DiGraph:
+        graph: nx.DiGraph = nx.DiGraph()
+        graph.add_nodes_from(self.steps)
+        graph.add_edges_from(self.dependency_edges(conflicts))
+        return graph
+
+    def dependency_pairs(self, conflicts: str = "all") -> set[tuple[StepId, StepId]]:
+        """The full dependency partial order as explicit pairs
+        (transitive closure of the generating edges).  Quadratic."""
+        graph = self.dependency_graph(conflicts)
+        return {
+            (a, b)
+            for a in graph.nodes
+            for b in nx.descendants(graph, a)
+        }
+
+    def equivalent(self, other: "Execution", conflicts: str = "all") -> bool:
+        """Section 3.1 equivalence: identical dependency orders (which
+        requires identical step sets)."""
+        if set(self.steps) != set(other.steps):
+            return False
+        return self.dependency_pairs(conflicts) == other.dependency_pairs(conflicts)
+
+    # ------------------------------------------------------------------
+    # consistency (Section 3.1 requirements)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the Section 3.1 consistency requirements: every access to
+        an internal entity sees the value left by the previous access (or
+        the initial value), and steps of one transaction appear in index
+        order."""
+        current = dict(self.initial_values)
+        next_index: dict[str, int] = {}
+        for record in self.records:
+            step = record.step
+            expected_index = next_index.get(step.transaction, 0)
+            if step.index != expected_index:
+                raise ExecutionError(
+                    f"{step}: expected index {expected_index} for "
+                    f"transaction {step.transaction!r}"
+                )
+            next_index[step.transaction] = expected_index + 1
+            if record.entity in current:
+                if current[record.entity] != record.value_before:
+                    raise ExecutionError(
+                        f"{step}: read {record.value_before!r} from "
+                        f"{record.entity!r} but the previous access left "
+                        f"{current[record.entity]!r}"
+                    )
+            current[record.entity] = record.value_after
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ExecutionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # reordering
+    # ------------------------------------------------------------------
+
+    def reorder(self, order: Sequence[StepId]) -> "Execution":
+        """The execution obtained by performing the same step records in a
+        different total order.
+
+        The reordering must be consistent with the dependency order —
+        then, by the fundamental property of the model, the result is a
+        valid execution with identical value sequences.  We *check*
+        rather than assume: the reordered execution is validated, so a
+        non-equivalent order raises :class:`~repro.errors.ExecutionError`.
+        """
+        by_step = {r.step: r for r in self.records}
+        if set(order) != set(by_step):
+            raise ExecutionError("reorder must permute exactly the same steps")
+        reordered = Execution(
+            [by_step[s] for s in order], dict(self.initial_values)
+        )
+        reordered.validate()
+        return reordered
+
+    def entity_value_sequences(self) -> dict[str, list]:
+        """Per-entity sequences of values written (including reads'
+        unchanged values) — the observable the equivalence notion
+        preserves."""
+        out: dict[str, list] = {}
+        for record in self.records:
+            out.setdefault(record.entity, []).append(record.value_after)
+        return out
+
+    def restrict(self, transactions: Iterable[str]) -> "Execution":
+        """The sub-execution of the given transactions' steps (used when
+        deriving per-transaction executions e_t)."""
+        keep = set(transactions)
+        return Execution(
+            [r for r in self.records if r.step.transaction in keep],
+            dict(self.initial_values),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Execution({len(self.records)} steps, "
+            f"{len(set(self.transactions))} transactions)"
+        )

@@ -1,0 +1,105 @@
+"""Entities (the paper's *variables*) and the entity store.
+
+Entities are internal variables of the application database: they start
+from declared initial values and are accessed only through transaction
+steps (Section 3.2).  The store keeps, besides current values, a full
+per-entity access history so dependency orders and the Section 3.1
+consistency requirements can be checked after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import EngineError
+from repro.model.steps import StepId
+
+__all__ = ["EntityStore"]
+
+
+@dataclass
+class _EntityState:
+    value: Any
+    history: list[tuple[StepId, Any, Any]] = field(default_factory=list)
+
+
+class EntityStore:
+    """A mapping of entity names to values with per-entity history.
+
+    The store is deliberately dumb: all concurrency decisions live in the
+    schedulers.  It only enforces that entities exist and faithfully
+    applies access functions.
+    """
+
+    def __init__(self, initial: dict[str, Any]) -> None:
+        self._initial = dict(initial)
+        self._entities = {
+            name: _EntityState(value) for name, value in initial.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        return tuple(self._entities)
+
+    def initial_value(self, entity: str) -> Any:
+        self._require(entity)
+        return self._initial[entity]
+
+    def initial_snapshot(self) -> dict[str, Any]:
+        return dict(self._initial)
+
+    def value(self, entity: str) -> Any:
+        self._require(entity)
+        return self._entities[entity].value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {name: state.value for name, state in self._entities.items()}
+
+    def history(self, entity: str) -> list[tuple[StepId, Any, Any]]:
+        """``(step, value_before, value_after)`` triples, oldest first."""
+        self._require(entity)
+        return list(self._entities[entity].history)
+
+    def last_accessors(self, entity: str, count: int = 1) -> list[StepId]:
+        self._require(entity)
+        return [s for s, _, _ in self._entities[entity].history[-count:]]
+
+    # ------------------------------------------------------------------
+
+    def apply(self, step: StepId, entity: str, fn) -> tuple[Any, Any, Any]:
+        """Apply access function ``fn`` (old value -> (new value, result))
+        at ``step``.  Returns ``(value_before, value_after, result)``."""
+        self._require(entity)
+        state = self._entities[entity]
+        before = state.value
+        after, result = fn(before)
+        state.value = after
+        state.history.append((step, before, after))
+        return before, after, result
+
+    def restore(self, entity: str, value: Any) -> None:
+        """Force an entity back to ``value`` (rollback support); does not
+        touch the history — undo is recorded by the engine's log."""
+        self._require(entity)
+        self._entities[entity].value = value
+
+    def reset(self) -> None:
+        """Back to initial values, clearing history."""
+        self._entities = {
+            name: _EntityState(value) for name, value in self._initial.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    def _require(self, entity: str) -> None:
+        if entity not in self._entities:
+            raise EngineError(f"unknown entity {entity!r}")
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._entities
+
+    def __repr__(self) -> str:
+        return f"EntityStore({len(self._entities)} entities)"

@@ -1,0 +1,13 @@
+"""Section 7: multilevel atomicity in the nested-transaction model.
+
+Multilevel-atomic executions can be described by *nested action trees*
+whose level-``i`` nodes group steps of ``pi(i)``-equivalent transactions
+carried to level-``i-1`` breakpoints.  :func:`encode_action_tree`
+constructs the tree; :func:`verify_action_tree` checks the structural
+property the paper states.
+"""
+
+from repro.nested.action_tree import ActionNode, StepLeaf, verify_action_tree
+from repro.nested.encoding import encode_action_tree
+
+__all__ = ["ActionNode", "StepLeaf", "verify_action_tree", "encode_action_tree"]

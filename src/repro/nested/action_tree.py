@@ -1,0 +1,128 @@
+"""Nested action trees (Section 7).
+
+The paper compares multilevel atomicity to the nested-transaction model
+[M, R, Ly]: a multilevel-atomic execution can be *described* by a tree of
+"actions" (atomicity units, distinct from the logical transactions) such
+that
+
+    "Enumerate the levels of the tree, with the root at level 1.  Then
+    all steps appearing below any particular level i node in the tree
+    belong to transactions which are pi(i)-equivalent.  Moreover (if
+    i > 1), these steps suffice to carry each of the transactions
+    involved to a level i-1 breakpoint."
+
+This module defines the tree structure and the verifier for exactly that
+property; :mod:`repro.nested.encoding` constructs the tree from a
+multilevel-atomic execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.interleaving import InterleavingSpec
+from repro.errors import SpecificationError
+
+__all__ = ["StepLeaf", "ActionNode", "verify_action_tree"]
+
+
+@dataclass(frozen=True)
+class StepLeaf:
+    """A single step at the bottom of the action tree."""
+
+    step: object
+
+    def leaves(self):
+        yield self
+
+
+@dataclass
+class ActionNode:
+    """An action: an atomicity unit grouping child actions or steps.
+
+    ``level`` is the node's depth in the paper's numbering (root = 1).
+    """
+
+    level: int
+    children: list[Union["ActionNode", StepLeaf]] = field(default_factory=list)
+
+    def leaves(self):
+        for child in self.children:
+            yield from child.leaves()
+
+    def steps(self) -> list:
+        return [leaf.step for leaf in self.leaves()]
+
+    def nodes(self):
+        """All action nodes in the subtree (pre-order)."""
+        yield self
+        for child in self.children:
+            if isinstance(child, ActionNode):
+                yield from child.nodes()
+
+    def size(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def render(self, spec: InterleavingSpec | None = None, indent: str = "") -> str:
+        """Pretty-print the tree (for examples and debugging)."""
+        lines = [f"{indent}action@{self.level}"]
+        for child in self.children:
+            if isinstance(child, ActionNode):
+                lines.append(child.render(spec, indent + "  "))
+            else:
+                lines.append(f"{indent}  {child.step}")
+        return "\n".join(lines)
+
+
+def verify_action_tree(
+    tree: ActionNode, spec: InterleavingSpec, sequence
+) -> None:
+    """Check the Section 7 property; raises on any violation.
+
+    * the leaves, in order, are exactly ``sequence``;
+    * below every level-``i`` node all transactions are
+      ``pi(i)``-equivalent;
+    * for ``i > 1``, each involved transaction's last step below the node
+      is either its final step or followed by a ``B_t(i-1)`` breakpoint.
+    """
+    leaves = tree.steps()
+    if leaves != list(sequence):
+        raise SpecificationError(
+            "action tree leaves do not reproduce the execution order"
+        )
+    for node in tree.nodes():
+        steps = node.steps()
+        if not steps:
+            raise SpecificationError("empty action node")
+        owners = {spec.transaction_of(s) for s in steps}
+        level = node.level
+        first = next(iter(owners))
+        for other in owners:
+            if spec.level(first, other) < level:
+                raise SpecificationError(
+                    f"level-{level} node mixes transactions {first!r} and "
+                    f"{other!r} related only at level "
+                    f"{spec.level(first, other)}"
+                )
+        if level > 1:
+            for txn in owners:
+                last = max(
+                    (s for s in steps if spec.transaction_of(s) == txn),
+                    key=spec.position_of,
+                )
+                desc = spec.description(txn)
+                position = desc.index_of(last)
+                if position == len(desc.elements) - 1:
+                    continue  # the transaction's final step
+                if not desc.is_cut(level - 1, position):
+                    raise SpecificationError(
+                        f"level-{level} node leaves {txn!r} mid-segment: no "
+                        f"B({level - 1}) breakpoint after step {last}"
+                    )
+        # Children of a level-i node must be level-(i+1) nodes or leaves.
+        for child in node.children:
+            if isinstance(child, ActionNode) and child.level != level + 1:
+                raise SpecificationError(
+                    f"level-{level} node has a level-{child.level} child"
+                )

@@ -1,0 +1,108 @@
+"""Encoding a multilevel-atomic execution as a nested action tree.
+
+Section 7 argues that the nested-transaction model *can* express
+multilevel atomicity once logical transactions and atomicity units are
+decoupled: "(Note that the reorganization of transactions into actions is
+not statically determined, but rather depends on the particular
+execution.)"  This module performs that reorganisation constructively.
+
+Construction: at level ``i`` (starting from the root's children at
+``i = 2``), scan the parent's step sequence left to right and cut it into
+*minimal* chunks such that each chunk's transactions are all
+``pi(i)``-equivalent and every involved transaction's last step in the
+chunk is followed by a ``B_t(i-1)`` breakpoint (or ends the transaction).
+Coherence of the execution guarantees the greedy scan never gets stuck:
+if a step of a differently-classed transaction arrives while some
+involved transaction is mid-segment, the original execution violated
+coherence — and :func:`encode_action_tree` raises exactly then, so the
+encoder doubles as another multilevel-atomicity checker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.interleaving import InterleavingSpec
+from repro.errors import NotCoherentError
+from repro.nested.action_tree import ActionNode, StepLeaf, verify_action_tree
+
+__all__ = ["encode_action_tree"]
+
+
+def _at_breakpoint(spec: InterleavingSpec, step, level: int) -> bool:
+    """Whether ``step`` is its transaction's final step or followed by a
+    ``B_t(level)`` cut."""
+    txn = spec.transaction_of(step)
+    desc = spec.description(txn)
+    position = desc.index_of(step)
+    if position == len(desc.elements) - 1:
+        return True
+    return desc.is_cut(level, position)
+
+
+def _chunk(spec: InterleavingSpec, steps: Sequence, level: int) -> list[list]:
+    """Minimal level-``level`` chunks of ``steps`` (see module doc)."""
+    chunks: list[list] = []
+    current: list = []
+    # Transactions with steps in the current chunk that have not yet
+    # reached a level-(level-1) breakpoint.
+    open_transactions: set = set()
+    anchor = None  # representative transaction fixing the pi(level) class
+    for step in steps:
+        txn = spec.transaction_of(step)
+        if current and spec.level(anchor, txn) < level:
+            if open_transactions:
+                raise NotCoherentError(
+                    f"cannot encode: step {step} of {txn!r} interrupts "
+                    f"{sorted(map(repr, open_transactions))} mid-segment at "
+                    f"level {level}"
+                )
+            chunks.append(current)
+            current = []
+        if not current:
+            anchor = txn
+        current.append(step)
+        if _at_breakpoint(spec, step, level - 1):
+            open_transactions.discard(txn)
+        else:
+            open_transactions.add(txn)
+        if not open_transactions:
+            # Minimal chunks: close as soon as everyone is at a
+            # level-(level-1) breakpoint.
+            chunks.append(current)
+            current = []
+    if current:
+        if open_transactions:
+            raise NotCoherentError(
+                f"cannot encode: execution ends with "
+                f"{sorted(map(repr, open_transactions))} mid-segment at "
+                f"level {level}"
+            )
+        chunks.append(current)
+    return chunks
+
+
+def _build(spec: InterleavingSpec, steps: Sequence, level: int) -> ActionNode:
+    node = ActionNode(level=level)
+    if level == spec.k:
+        node.children = [StepLeaf(step) for step in steps]
+        return node
+    for chunk in _chunk(spec, steps, level + 1):
+        node.children.append(_build(spec, chunk, level + 1))
+    return node
+
+
+def encode_action_tree(
+    spec: InterleavingSpec, sequence: Sequence, verify: bool = True
+) -> ActionNode:
+    """Encode a multilevel-atomic step sequence as a nested action tree.
+
+    Raises :class:`~repro.errors.NotCoherentError` when the sequence is
+    not multilevel atomic (a foreign step interrupts an open segment).
+    When ``verify`` (default), the result is checked against the paper's
+    Section 7 structural property before being returned.
+    """
+    tree = _build(spec, list(sequence), 1)
+    if verify:
+        verify_action_tree(tree, spec, list(sequence))
+    return tree

@@ -1,0 +1,62 @@
+"""The paper's applications and workload generators.
+
+* :mod:`~repro.workloads.banking` — the Big Bucks Bank (Application 1).
+* :mod:`~repro.workloads.cad` — Utopian Planning, Inc. (Application 2).
+* :mod:`~repro.workloads.paper` — every worked example from the text.
+* :mod:`~repro.workloads.generators` — random hierarchical workloads.
+* :mod:`~repro.workloads.traces` — admission-rate sampling (E2/E6).
+"""
+
+from repro.workloads.banking import (
+    BankingConfig,
+    BankingWorkload,
+    bank_audit_program,
+    conditional_transfer_program,
+    creditor_audit_program,
+    transfer_program,
+)
+from repro.workloads.cad import (
+    CADConfig,
+    CADWorkload,
+    modification_program,
+    snapshot_program,
+)
+from repro.workloads.fgl_audit import (
+    FGLConfig,
+    FGLWorkload,
+    fgl_audit_program,
+    ledgered_transfer_program,
+)
+from repro.workloads.generators import (
+    RandomWorkloadConfig,
+    random_dependency_pairs,
+    random_workload,
+)
+from repro.workloads.traces import (
+    AdmissionStats,
+    admission_by_depth,
+    classify_sample,
+)
+
+__all__ = [
+    "BankingConfig",
+    "BankingWorkload",
+    "transfer_program",
+    "conditional_transfer_program",
+    "bank_audit_program",
+    "creditor_audit_program",
+    "CADConfig",
+    "CADWorkload",
+    "modification_program",
+    "snapshot_program",
+    "FGLConfig",
+    "FGLWorkload",
+    "ledgered_transfer_program",
+    "fgl_audit_program",
+    "RandomWorkloadConfig",
+    "random_workload",
+    "random_dependency_pairs",
+    "AdmissionStats",
+    "classify_sample",
+    "admission_by_depth",
+]

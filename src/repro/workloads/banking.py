@@ -1,0 +1,382 @@
+"""The Big Bucks Bank (the paper's Application 1).
+
+Families share sets of accounts; customers run transfers that scan source
+accounts sequentially (taking what they can, as the Section 4.3 worked
+transfer does) and then deposit into destination accounts; the bank takes
+complete audits (optionally crediting computed interest to a special
+account); creditors audit single families.
+
+The 4-nest of Section 4.2 structures the correctness criterion:
+
+* level 1 — everything (bank audits are atomic w.r.t. all else);
+* level 2 — customers + creditors together, each bank audit alone;
+* level 3 — customers of a common family (creditors are alone here);
+* level 4 — singletons.
+
+Breakpoints mirror the paper's example, with one refinement it motivates
+in Section 2: a transfer's withdrawal/deposit boundary is only a *level-2*
+breakpoint when the money moves **between** families — while an
+*intra-family* transfer has money in transit the family total is wrong,
+so only same-family transactions (level 3) may interleave there.
+Individual withdrawals and deposits are separated by level-3 breakpoints
+(family members trust each other with arbitrary interleaving).
+
+Money conservation gives the experiment E5 invariants: every bank audit
+must read exactly the grand total, and under an intra-family-only
+configuration every creditor audit must read its family's initial total.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.nests import KNest
+from repro.engine.runtime import Engine, EngineResult
+from repro.engine.schedulers.base import Scheduler
+from repro.errors import SpecificationError
+from repro.model.appdb import ApplicationDatabase
+from repro.model.programs import Breakpoint, TransactionProgram, read, update, write
+
+__all__ = [
+    "BankingConfig",
+    "BankingWorkload",
+    "transfer_program",
+    "conditional_transfer_program",
+    "bank_audit_program",
+    "creditor_audit_program",
+]
+
+
+@dataclass(frozen=True)
+class BankingConfig:
+    """Shape of a generated banking workload."""
+
+    families: int = 4
+    accounts_per_family: int = 3
+    transfers: int = 8
+    intra_family_ratio: float = 0.5
+    bank_audits: int = 1
+    creditor_audits: int = 2
+    amount_range: tuple[int, int] = (10, 60)
+    initial_balance: int = 100
+    max_source_accounts: int = 3
+    max_destination_accounts: int = 2
+    interest_rate: float = 0.0
+    conditional_ratio: float = 0.0
+    minimum_family_total: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.families < 1 or self.accounts_per_family < 1:
+            raise SpecificationError("need at least one family and account")
+        if not 0.0 <= self.intra_family_ratio <= 1.0:
+            raise SpecificationError("intra_family_ratio must be in [0, 1]")
+        if not 0.0 <= self.conditional_ratio <= 1.0:
+            raise SpecificationError("conditional_ratio must be in [0, 1]")
+
+
+def transfer_program(
+    name: str,
+    sources: list[str],
+    destinations: list[str],
+    amount: int,
+    boundary_level: int,
+) -> TransactionProgram:
+    """A Section 4.3-style conditional transfer.
+
+    Scans ``sources`` sequentially, withdrawing greedily until ``amount``
+    is gathered (skipping remaining sources once satisfied — the
+    conditional branching of the paper's t1); then spreads the gathered
+    sum over ``destinations``, first topping the first destination up and
+    putting any remainder in the last.  Level-3 breakpoints separate the
+    individual withdrawals and deposits; ``boundary_level`` (2 for
+    inter-family, 3 for intra-family) cuts the withdrawals/deposits
+    boundary.
+    """
+
+    def body():
+        gathered = 0
+        first = True
+        for account in sources:
+            if gathered >= amount:
+                break
+            if not first:
+                yield Breakpoint(3)
+            first = False
+            balance = yield read(account)
+            take = min(balance, amount - gathered)
+            yield write(account, balance - take)
+            gathered += take
+        yield Breakpoint(boundary_level)
+        remaining = gathered
+        for i, account in enumerate(destinations):
+            if i > 0:
+                yield Breakpoint(3)
+            if i == len(destinations) - 1:
+                deposit = remaining
+            else:
+                deposit = remaining // 2
+            yield update(account, lambda v, d=deposit: v + d)
+            remaining -= deposit
+        return gathered
+
+    return TransactionProgram(name, body)
+
+
+def conditional_transfer_program(
+    name: str,
+    family_accounts: list[str],
+    sources: list[str],
+    destinations: list[str],
+    amount: int,
+    minimum_total: int,
+    boundary_level: int,
+) -> TransactionProgram:
+    """A transfer contingent on the originating family's total.
+
+    Section 2: inter-family transfers are "often contingent upon some
+    condition involving the amount of money in one of the originating
+    accounts, or else involving the total amount of money in all the
+    accounts of the originating family."  The program first reads every
+    family account (a long read phase, separated by level-3 breakpoints),
+    aborts the business operation — returning 0 — when the family total
+    is below ``minimum_total``, and otherwise proceeds like a plain
+    transfer.
+    """
+
+    def body():
+        total = 0
+        for index, account in enumerate(family_accounts):
+            if index > 0:
+                yield Breakpoint(3)
+            total += yield read(account)
+        if total < minimum_total:
+            return 0  # condition failed: nothing moved
+        yield Breakpoint(3)
+        gathered = 0
+        first = True
+        for account in sources:
+            if gathered >= amount:
+                break
+            if not first:
+                yield Breakpoint(3)
+            first = False
+            balance = yield read(account)
+            take = min(balance, amount - gathered)
+            yield write(account, balance - take)
+            gathered += take
+        yield Breakpoint(boundary_level)
+        remaining = gathered
+        for i, account in enumerate(destinations):
+            if i > 0:
+                yield Breakpoint(3)
+            deposit = remaining if i == len(destinations) - 1 else remaining // 2
+            yield update(account, lambda v, d=deposit: v + d)
+            remaining -= deposit
+        return gathered
+
+    return TransactionProgram(name, body)
+
+
+def bank_audit_program(
+    name: str,
+    accounts: list[str],
+    interest_account: str | None = None,
+    interest_rate: float = 0.0,
+) -> TransactionProgram:
+    """Read every account and return the total; optionally credit
+    ``total * interest_rate`` to a special account (the paper's
+    'calculated interest amount')."""
+
+    def body():
+        total = 0
+        for account in accounts:
+            total += yield read(account)
+        if interest_account is not None and interest_rate > 0.0:
+            credit = int(total * interest_rate)
+            yield update(interest_account, lambda v: v + credit)
+        return total
+
+    return TransactionProgram(name, body)
+
+
+def creditor_audit_program(name: str, accounts: list[str]) -> TransactionProgram:
+    """Read one family's accounts and return their total."""
+
+    def body():
+        total = 0
+        for account in accounts:
+            total += yield read(account)
+        return total
+
+    return TransactionProgram(name, body)
+
+
+@dataclass
+class BankingWorkload:
+    """A fully generated banking application: programs, entities, nest."""
+
+    config: BankingConfig
+    accounts: dict[str, int] = field(init=False)
+    programs: list[TransactionProgram] = field(init=False)
+    nest: KNest = field(init=False)
+    family_accounts: dict[int, list[str]] = field(init=False)
+    transfer_meta: dict[str, dict[str, Any]] = field(init=False)
+    audit_names: list[str] = field(init=False)
+    creditor_meta: dict[str, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        self.family_accounts = {
+            f: [f"F{f}.A{j}" for j in range(cfg.accounts_per_family)]
+            for f in range(cfg.families)
+        }
+        self.accounts = {
+            name: cfg.initial_balance
+            for names in self.family_accounts.values()
+            for name in names
+        }
+        if cfg.interest_rate > 0.0:
+            self.accounts["BANK.INTEREST"] = 0
+
+        self.programs = []
+        paths: dict[str, tuple[str, str]] = {}
+        self.transfer_meta = {}
+        for i in range(cfg.transfers):
+            name = f"t{i}"
+            src_family = rng.randrange(cfg.families)
+            intra = (
+                rng.random() < cfg.intra_family_ratio or cfg.families == 1
+            )
+            dst_family = (
+                src_family
+                if intra
+                else rng.choice(
+                    [f for f in range(cfg.families) if f != src_family]
+                )
+            )
+            n_src = rng.randint(
+                1, min(cfg.max_source_accounts, cfg.accounts_per_family)
+            )
+            n_dst = rng.randint(
+                1, min(cfg.max_destination_accounts, cfg.accounts_per_family)
+            )
+            sources = rng.sample(self.family_accounts[src_family], n_src)
+            destinations = rng.sample(self.family_accounts[dst_family], n_dst)
+            amount = rng.randint(*cfg.amount_range)
+            boundary_level = 3 if intra else 2
+            conditional = rng.random() < cfg.conditional_ratio
+            if conditional:
+                threshold = (
+                    cfg.minimum_family_total
+                    if cfg.minimum_family_total is not None
+                    else cfg.accounts_per_family * cfg.initial_balance // 2
+                )
+                self.programs.append(
+                    conditional_transfer_program(
+                        name,
+                        sorted(self.family_accounts[src_family]),
+                        sources,
+                        destinations,
+                        amount,
+                        threshold,
+                        boundary_level,
+                    )
+                )
+            else:
+                self.programs.append(
+                    transfer_program(
+                        name, sources, destinations, amount, boundary_level
+                    )
+                )
+            paths[name] = ("customers", f"family:{src_family}")
+            self.transfer_meta[name] = {
+                "src_family": src_family,
+                "dst_family": dst_family,
+                "amount": amount,
+                "intra": intra,
+                "conditional": conditional,
+            }
+
+        self.audit_names = []
+        all_accounts = sorted(self.accounts)
+        for i in range(cfg.bank_audits):
+            name = f"audit{i}"
+            self.audit_names.append(name)
+            self.programs.append(
+                bank_audit_program(
+                    name,
+                    [a for a in all_accounts if a != "BANK.INTEREST"],
+                    interest_account=(
+                        "BANK.INTEREST" if cfg.interest_rate > 0 else None
+                    ),
+                    interest_rate=cfg.interest_rate,
+                )
+            )
+            paths[name] = (f"bank-audit:{i}", f"bank-audit:{i}")
+
+        self.creditor_meta = {}
+        for i in range(cfg.creditor_audits):
+            name = f"creditor{i}"
+            family = rng.randrange(cfg.families)
+            self.creditor_meta[name] = family
+            self.programs.append(
+                creditor_audit_program(
+                    name, sorted(self.family_accounts[family])
+                )
+            )
+            paths[name] = ("customers", f"creditor:{i}")
+
+        self.nest = KNest.from_paths(paths)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def grand_total(self) -> int:
+        return sum(
+            v for k, v in self.accounts.items() if k != "BANK.INTEREST"
+        )
+
+    def family_total(self, family: int) -> int:
+        return sum(self.accounts[a] for a in self.family_accounts[family])
+
+    def application_database(self) -> ApplicationDatabase:
+        return ApplicationDatabase(self.programs, self.accounts, self.nest)
+
+    def engine(self, scheduler: Scheduler, seed: int = 0, **kwargs) -> Engine:
+        return Engine(self.programs, self.accounts, scheduler, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # invariants (experiment E5)
+    # ------------------------------------------------------------------
+
+    def invariant_violations(self, result: EngineResult) -> list[str]:
+        """Money-conservation violations observable in a run's results.
+
+        * Every bank audit must have read exactly the grand total.
+        * When *all* transfers are intra-family, every creditor audit
+          must have read its family's initial total.
+        """
+        violations: list[str] = []
+        for name in self.audit_names:
+            total = result.results.get(name)
+            if total is not None and total != self.grand_total:
+                violations.append(
+                    f"bank audit {name} read {total}, expected "
+                    f"{self.grand_total}"
+                )
+        if all(meta["intra"] for meta in self.transfer_meta.values()):
+            for name, family in self.creditor_meta.items():
+                total = result.results.get(name)
+                expected = self.family_total(family)
+                if total is not None and total != expected:
+                    violations.append(
+                        f"creditor audit {name} read {total}, expected "
+                        f"{expected} for family {family}"
+                    )
+        return violations

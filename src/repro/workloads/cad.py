@@ -1,0 +1,209 @@
+"""Utopian Planning, Inc. (the paper's Application 2).
+
+A computer-aided-design database: the city plan is a set of *items*
+partitioned by specialty (architecture, plumbing, traffic, ...); each
+specialty also keeps a *checksum* entity.  Experts — organised into teams
+within specialties — run modification transactions; the public-relations
+department takes snapshots.
+
+The paper's 5-nest:
+
+* level 1 — everything (snapshots atomic w.r.t. modifications);
+* level 2 — all modifications together, all snapshots together;
+* level 3 — modifications of a common specialty;
+* level 4 — modifications of a common team;
+* level 5 — singletons.
+
+Breakpoint discipline encodes the paper's "shared understanding": a
+modification works in *phases*; only at the end of a phase — once it has
+restored its specialty's checksum (the "minimal consistency constraints
+required by all the groups of experts") — does it declare a level-2
+breakpoint.  Inside a phase it declares level-3 breakpoints at
+specialty-consistent points and level-4 breakpoints between individual
+item touches (teammates interleave almost arbitrarily).
+
+The checkable invariant (experiment E6): a snapshot must see every
+specialty checksum equal to the sum of that specialty's items.  Under
+multilevel-atomicity control that holds; under no control it visibly
+breaks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.nests import KNest
+from repro.engine.runtime import Engine, EngineResult
+from repro.engine.schedulers.base import Scheduler
+from repro.errors import SpecificationError
+from repro.model.appdb import ApplicationDatabase
+from repro.model.programs import Breakpoint, TransactionProgram, read, update
+
+__all__ = ["CADConfig", "CADWorkload", "modification_program", "snapshot_program"]
+
+
+@dataclass(frozen=True)
+class CADConfig:
+    specialties: int = 3
+    teams_per_specialty: int = 2
+    items_per_specialty: int = 4
+    modifications: int = 8
+    snapshots: int = 1
+    phases_range: tuple[int, int] = (1, 2)
+    touches_per_phase: tuple[int, int] = (1, 3)
+    delta_range: tuple[int, int] = (-5, 5)
+    initial_value: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.specialties < 1 or self.items_per_specialty < 1:
+            raise SpecificationError("need at least one specialty and item")
+
+
+def _item(s: int, j: int) -> str:
+    return f"S{s}.item{j}"
+
+
+def _checksum(s: int) -> str:
+    return f"S{s}.checksum"
+
+
+def modification_program(
+    name: str,
+    specialty: int,
+    phases: list[list[tuple[str, int]]],
+) -> TransactionProgram:
+    """A modification transaction over one specialty.
+
+    Each phase is a list of ``(item, delta)`` touches.  The program
+    applies the touches (level-4 breakpoints between them), then adjusts
+    the specialty checksum by the phase's net delta — restoring specialty
+    consistency — and declares a level-3 breakpoint; after the checksum is
+    settled at the end of the phase it declares the level-2 breakpoint at
+    which experts of other specialties may interleave.
+    """
+
+    def body():
+        for p, touches in enumerate(phases):
+            if p > 0:
+                yield Breakpoint(2)
+            net = 0
+            for i, (item, delta) in enumerate(touches):
+                if i > 0:
+                    yield Breakpoint(4)
+                yield update(item, lambda v, d=delta: v + d)
+                net += delta
+            yield Breakpoint(4)
+            yield update(_checksum(specialty), lambda v, d=net: v + d)
+            yield Breakpoint(3)
+            # Phase closed: the specialty is consistent again; a final
+            # level-2 breakpoint is implied either by the next phase's
+            # leading Breakpoint(2) or by the end of the transaction.
+        return None
+
+    return TransactionProgram(name, body)
+
+
+def snapshot_program(name: str, specialties: int, items: int) -> TransactionProgram:
+    """Read the whole plan; return per-specialty ``(checksum, item sum)``
+    pairs for invariant checking."""
+
+    def body():
+        report = {}
+        for s in range(specialties):
+            checksum = yield read(_checksum(s))
+            total = 0
+            for j in range(items):
+                total += yield read(_item(s, j))
+            report[s] = (checksum, total)
+        return report
+
+    return TransactionProgram(name, body)
+
+
+@dataclass
+class CADWorkload:
+    """A generated Utopian Planning workload: programs, entities, 5-nest."""
+
+    config: CADConfig
+    entities: dict[str, int] = field(init=False)
+    programs: list[TransactionProgram] = field(init=False)
+    nest: KNest = field(init=False)
+    snapshot_names: list[str] = field(init=False)
+    modification_meta: dict[str, tuple[int, int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        self.entities = {}
+        for s in range(cfg.specialties):
+            for j in range(cfg.items_per_specialty):
+                self.entities[_item(s, j)] = cfg.initial_value
+            self.entities[_checksum(s)] = (
+                cfg.initial_value * cfg.items_per_specialty
+            )
+
+        self.programs = []
+        paths: dict[str, tuple[str, str, str]] = {}
+        self.modification_meta = {}
+        for i in range(cfg.modifications):
+            name = f"mod{i}"
+            specialty = rng.randrange(cfg.specialties)
+            team = rng.randrange(cfg.teams_per_specialty)
+            phases = []
+            for _ in range(rng.randint(*cfg.phases_range)):
+                touches = []
+                for _ in range(rng.randint(*cfg.touches_per_phase)):
+                    item = _item(
+                        specialty, rng.randrange(cfg.items_per_specialty)
+                    )
+                    delta = rng.randint(*cfg.delta_range)
+                    touches.append((item, delta))
+                phases.append(touches)
+            self.programs.append(modification_program(name, specialty, phases))
+            paths[name] = (
+                "modifications",
+                f"specialty:{specialty}",
+                f"team:{specialty}.{team}",
+            )
+            self.modification_meta[name] = (specialty, team)
+
+        self.snapshot_names = []
+        for i in range(cfg.snapshots):
+            name = f"snap{i}"
+            self.snapshot_names.append(name)
+            self.programs.append(
+                snapshot_program(
+                    name, cfg.specialties, cfg.items_per_specialty
+                )
+            )
+            paths[name] = ("snapshots", f"snapshot:{i}", f"snapshot:{i}")
+
+        self.nest = KNest.from_paths(paths)
+
+    # ------------------------------------------------------------------
+
+    def application_database(self) -> ApplicationDatabase:
+        return ApplicationDatabase(self.programs, self.entities, self.nest)
+
+    def engine(self, scheduler: Scheduler, seed: int = 0, **kwargs) -> Engine:
+        return Engine(self.programs, self.entities, scheduler, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def invariant_violations(self, result: EngineResult) -> list[str]:
+        """Snapshot consistency: every snapshot must report, for every
+        specialty, a checksum equal to the sum of the specialty's items."""
+        violations = []
+        for name in self.snapshot_names:
+            report = result.results.get(name)
+            if report is None:
+                continue
+            for specialty, (checksum, total) in report.items():
+                if checksum != total:
+                    violations.append(
+                        f"snapshot {name}: specialty {specialty} checksum "
+                        f"{checksum} != item sum {total}"
+                    )
+        return violations

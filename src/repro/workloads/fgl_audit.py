@@ -1,0 +1,167 @@
+"""The non-blocking audit of [FGL] (Fischer, Griffeth, Lynch 1981).
+
+Section 2 of the paper notes that the bank-transfer/audit example "is
+explored in [L, FGL].  The solution presented in [FGL] has the
+particularly pleasant property that the audit does not stop transactions
+in progress."  This module makes that concrete inside the multilevel-
+atomicity framework:
+
+* every transfer posts the withdrawn amount to a per-transfer *transit
+  ledger* entity before exposing its level-2 breakpoint, and clears the
+  ledger when the deposit lands — so at every level-2 breakpoint the sum
+  of all accounts **plus** all transit ledgers equals the grand total;
+* the *FGL audit* reads accounts and transit ledgers and may therefore
+  interleave with transfers at level 2 (it no longer needs the level-1
+  atomicity of the classical audit) while still reporting the exact
+  grand total.
+
+The criterion does the bookkeeping: the audit's nest path places it with
+the customers (level 2), and correctness of the total is a theorem of
+the breakpoint discipline rather than of mutual exclusion.  Experiment
+E11 measures what this buys: the classical audit must wait for (or abort
+against) every in-flight transfer, the FGL audit sails through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.nests import KNest
+from repro.engine.runtime import Engine, EngineResult
+from repro.engine.schedulers.base import Scheduler
+from repro.errors import SpecificationError
+from repro.model.appdb import ApplicationDatabase
+from repro.model.programs import Breakpoint, TransactionProgram, read, update, write
+
+__all__ = ["FGLConfig", "FGLWorkload", "ledgered_transfer_program", "fgl_audit_program"]
+
+
+def ledgered_transfer_program(
+    name: str,
+    source: str,
+    destination: str,
+    ledger: str,
+    amount: int,
+) -> TransactionProgram:
+    """A transfer that keeps the money visible while in transit.
+
+    Withdraw and post to the transit ledger *within one atomic segment*,
+    expose the level-2 breakpoint (accounts + ledgers now sum to the
+    grand total), then deposit and clear the ledger in a second segment.
+    """
+
+    def body():
+        balance = yield read(source)
+        moved = min(balance, amount)
+        yield write(source, balance - moved)
+        yield write(ledger, moved)
+        yield Breakpoint(2)
+        yield update(destination, lambda v: v + moved)
+        yield write(ledger, 0)
+        return moved
+
+    return TransactionProgram(name, body)
+
+
+def fgl_audit_program(
+    name: str, accounts: list[str], ledgers: list[str]
+) -> TransactionProgram:
+    """The [FGL]-style audit: counts money at rest *and* in transit."""
+
+    def body():
+        total = 0
+        for entity in list(accounts) + list(ledgers):
+            total += yield read(entity)
+        return total
+
+    return TransactionProgram(name, body)
+
+
+@dataclass(frozen=True)
+class FGLConfig:
+    accounts: int = 6
+    transfers: int = 8
+    amount_range: tuple[int, int] = (10, 60)
+    initial_balance: int = 100
+    audits: int = 1
+    classical_audit: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.accounts < 2:
+            raise SpecificationError("need at least two accounts")
+
+
+@dataclass
+class FGLWorkload:
+    """Transfers with transit ledgers plus either audit style.
+
+    ``classical_audit=True`` builds the Section 2 audit instead (atomic
+    with respect to everything, level 1) over the same transfer mix, so
+    the two styles are directly comparable.
+    """
+
+    config: FGLConfig
+    entities: dict[str, int] = field(init=False)
+    programs: list[TransactionProgram] = field(init=False)
+    nest: KNest = field(init=False)
+    audit_names: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        accounts = [f"ACC{i}" for i in range(cfg.accounts)]
+        ledgers = [f"TRANSIT.t{i}" for i in range(cfg.transfers)]
+        self.entities = {a: cfg.initial_balance for a in accounts}
+        self.entities.update({ledger: 0 for ledger in ledgers})
+
+        self.programs = []
+        paths: dict[str, tuple[str]] = {}
+        for i in range(cfg.transfers):
+            name = f"t{i}"
+            source, destination = rng.sample(accounts, 2)
+            self.programs.append(
+                ledgered_transfer_program(
+                    name, source, destination, ledgers[i],
+                    rng.randint(*cfg.amount_range),
+                )
+            )
+            paths[name] = ("customers",)
+
+        self.audit_names = []
+        for i in range(cfg.audits):
+            name = f"audit{i}"
+            self.audit_names.append(name)
+            self.programs.append(
+                fgl_audit_program(name, accounts, ledgers)
+            )
+            if cfg.classical_audit:
+                paths[name] = (f"audit:{i}",)  # level 1: atomic w.r.t. all
+            else:
+                paths[name] = ("customers",)   # level 2: rides breakpoints
+        self.nest = KNest.from_paths(paths)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def grand_total(self) -> int:
+        return self.config.accounts * self.config.initial_balance
+
+    def application_database(self) -> ApplicationDatabase:
+        return ApplicationDatabase(self.programs, self.entities, self.nest)
+
+    def engine(self, scheduler: Scheduler, seed: int = 0, **kwargs) -> Engine:
+        return Engine(self.programs, self.entities, scheduler, seed=seed, **kwargs)
+
+    def invariant_violations(self, result: EngineResult) -> list[str]:
+        """Every audit must read exactly the grand total — in-transit
+        money included via the ledgers."""
+        violations = []
+        for name in self.audit_names:
+            total = result.results.get(name)
+            if total is not None and total != self.grand_total:
+                violations.append(
+                    f"audit {name} read {total}, expected {self.grand_total}"
+                )
+        return violations

@@ -1,0 +1,127 @@
+"""Random workload generation for property tests and parameter sweeps.
+
+Produces hierarchically organised sets of straight-line transaction
+programs with random entity accesses and random declared breakpoint
+levels, plus the matching k-nest — the raw material for the scaling
+experiment (E1), the admission-rate experiment (E2) and the stress tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.nests import KNest
+from repro.errors import SpecificationError
+from repro.model.appdb import ApplicationDatabase
+from repro.model.programs import (
+    Breakpoint,
+    TransactionProgram,
+    read,
+    straight_line_program,
+    update,
+)
+
+__all__ = ["RandomWorkloadConfig", "random_workload", "random_dependency_pairs"]
+
+
+@dataclass(frozen=True)
+class RandomWorkloadConfig:
+    """Shape of a random hierarchical workload.
+
+    ``branching`` gives the fan-out at each nest level below the root:
+    ``(3, 2)`` means 3 groups of 2 subgroups each, yielding a 4-nest over
+    ``transactions`` assigned to leaves uniformly at random.
+    """
+
+    transactions: int = 6
+    branching: tuple[int, ...] = (2, 2)
+    entities: int = 8
+    steps_range: tuple[int, int] = (2, 6)
+    read_fraction: float = 0.4
+    breakpoint_fraction: float = 0.6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transactions < 1:
+            raise SpecificationError("need at least one transaction")
+        if any(b < 1 for b in self.branching):
+            raise SpecificationError("branching factors must be positive")
+
+
+def random_workload(config: RandomWorkloadConfig) -> ApplicationDatabase:
+    """Generate a random application database.
+
+    Transactions are straight-line programs over integer entities; each
+    inter-step gap independently receives a breakpoint at a uniform
+    random level (with probability ``breakpoint_fraction``); the nest is
+    a uniform random assignment to a ``branching``-shaped hierarchy.
+    """
+    cfg = config
+    rng = random.Random(cfg.seed)
+    k = len(cfg.branching) + 2
+    entities = {f"x{i}": 0 for i in range(cfg.entities)}
+    programs = []
+    paths = {}
+    for t in range(cfg.transactions):
+        name = f"t{t}"
+        path = tuple(
+            f"g{level}:{rng.randrange(width)}"
+            for level, width in enumerate(cfg.branching)
+        )
+        paths[name] = path
+        effects = []
+        n_steps = rng.randint(*cfg.steps_range)
+        for s in range(n_steps):
+            if s > 0 and rng.random() < cfg.breakpoint_fraction:
+                effects.append(Breakpoint(rng.randint(2, k)))
+            entity = f"x{rng.randrange(cfg.entities)}"
+            if rng.random() < cfg.read_fraction:
+                effects.append(read(entity))
+            else:
+                effects.append(update(entity, lambda v: v + 1))
+        programs.append(straight_line_program(name, effects))
+    nest = KNest.from_paths(paths)
+    return ApplicationDatabase(programs, entities, nest)
+
+
+def random_dependency_pairs(
+    n_transactions: int,
+    steps_per_transaction: int,
+    n_entities: int,
+    seed: int = 0,
+):
+    """A random schedule's worth of abstract steps: returns
+    ``(step_orders, dependency_pairs)`` where steps are assigned random
+    entities and dependencies follow a random global interleaving.
+
+    Used by the E1 checker-scaling benchmark, which needs large inputs
+    without paying program-execution overhead.
+    """
+    rng = random.Random(seed)
+    step_orders = {
+        f"t{t}": [f"t{t}s{s}" for s in range(steps_per_transaction)]
+        for t in range(n_transactions)
+    }
+    entity_of = {
+        step: rng.randrange(n_entities)
+        for steps in step_orders.values()
+        for step in steps
+    }
+    # Random global interleaving respecting per-transaction order.
+    cursors = {t: 0 for t in step_orders}
+    order = []
+    while cursors:
+        t = rng.choice(sorted(cursors))
+        order.append(step_orders[t][cursors[t]])
+        cursors[t] += 1
+        if cursors[t] == steps_per_transaction:
+            del cursors[t]
+    pairs = []
+    last_entity: dict[int, str] = {}
+    for step in order:
+        entity = entity_of[step]
+        if entity in last_entity:
+            pairs.append((last_entity[entity], step))
+        last_entity[entity] = step
+    return step_orders, pairs

@@ -1,0 +1,83 @@
+"""Sampling random interleavings and classifying them (experiment E2).
+
+The admission-rate experiment asks: of the interleavings a system could
+produce, how many does each correctness criterion accept?  Serializability
+is the ``k = 2`` floor; multilevel atomicity with deeper nests admits
+strictly more.  This module samples uniform random runs of an application
+database and classifies each against a family of truncated nests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.atomicity import is_correctable, is_multilevel_atomic
+from repro.model.appdb import ApplicationDatabase
+from repro.model.breakpoints import spec_for_run
+
+__all__ = ["AdmissionStats", "classify_sample", "admission_by_depth"]
+
+
+@dataclass
+class AdmissionStats:
+    """Counts over a sample of random interleavings."""
+
+    samples: int = 0
+    atomic: int = 0
+    correctable: int = 0
+
+    @property
+    def atomic_rate(self) -> float:
+        return self.atomic / self.samples if self.samples else 0.0
+
+    @property
+    def correctable_rate(self) -> float:
+        return self.correctable / self.samples if self.samples else 0.0
+
+    def add(self, atomic: bool, correctable: bool) -> None:
+        self.samples += 1
+        self.atomic += atomic
+        self.correctable += correctable
+
+
+def classify_sample(
+    db: ApplicationDatabase,
+    samples: int,
+    seed: int = 0,
+    depths: list[int] | None = None,
+) -> dict[int, AdmissionStats]:
+    """Run ``samples`` uniform random interleavings and classify each at
+    every requested nest depth (default: 2..k).
+
+    Returns per-depth admission statistics.  Depth 2 is classical
+    serializability; the full depth is the workload's own criterion.
+    Correctability at depth ``d`` uses the nest *and* the breakpoint
+    descriptions truncated to ``d`` levels, so deeper nests can only
+    admit more (every level-``<= d`` breakpoint survives truncation).
+    """
+    depths = depths or list(range(2, db.nest.k + 1))
+    stats = {d: AdmissionStats() for d in depths}
+    rng = random.Random(seed)
+    for _ in range(samples):
+        run = db.run(rng=random.Random(rng.randrange(2**62)))
+        spec_full = spec_for_run(run, db.nest)
+        deps = run.execution.dependency_edges()
+        for depth in depths:
+            spec = spec_full if depth == db.nest.k else spec_full.truncate(depth)
+            atomic = is_multilevel_atomic(spec, run.execution.steps)
+            correctable = atomic or is_correctable(spec, deps)
+            stats[depth].add(atomic, correctable)
+    return stats
+
+
+def admission_by_depth(
+    db: ApplicationDatabase, samples: int, seed: int = 0
+) -> list[tuple[int, float, float]]:
+    """Rows of ``(depth, atomic_rate, correctable_rate)`` for the E2/E6
+    tables."""
+    stats = classify_sample(db, samples, seed)
+    return [
+        (depth, s.atomic_rate, s.correctable_rate)
+        for depth, s in sorted(stats.items())
+    ]

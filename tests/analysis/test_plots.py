@@ -1,0 +1,65 @@
+"""Tests for the ASCII figure helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.plots import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart(["sr", "mla"], [14.0, 7.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "14" in lines[0]
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart(["a", "b"], [0.0, 5.0])
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["a"], [3.5], unit="ms")
+        assert "3.5ms" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+
+class TestLineChart:
+    def test_series_markers_present(self):
+        chart = line_chart(
+            [1, 2, 3, 4],
+            {"sr": [10, 8, 6, 5], "mla": [7, 5, 4, 3]},
+        )
+        assert "*" in chart and "o" in chart
+        assert "sr" in chart and "mla" in chart
+
+    def test_extremes_labelled(self):
+        chart = line_chart([0, 10], {"s": [5, 25]})
+        assert "25" in chart and "5" in chart
+
+    def test_empty(self):
+        assert "empty" in line_chart([], {})
+
+    def test_flat_series(self):
+        chart = line_chart([1, 2], {"s": [3, 3]})
+        assert "*" in chart
+
+
+@given(
+    values=st.lists(st.floats(0, 1e6), min_size=1, max_size=10),
+)
+@settings(max_examples=40)
+def test_bar_chart_total_width_bounded(values):
+    labels = [f"l{i}" for i in range(len(values))]
+    chart = bar_chart(labels, values, width=30)
+    for line in chart.splitlines():
+        assert line.count("#") <= 31

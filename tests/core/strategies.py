@@ -1,0 +1,69 @@
+"""Shared hypothesis strategies for core-level property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import BreakpointDescription, InterleavingSpec, KNest
+
+
+@st.composite
+def small_specs(draw, max_transactions=4, max_steps=4, max_depth=4):
+    """A random interleaving specification over a handful of transactions.
+
+    Transactions are named ``t0..``; steps ``t0s0..``.  The nest comes
+    from random 2-label paths (depth 4) truncated to a random k, and each
+    transaction gets random declared breakpoint levels.
+    """
+    n_txn = draw(st.integers(2, max_transactions))
+    txns = [f"t{i}" for i in range(n_txn)]
+    paths = {
+        t: (draw(st.integers(0, 1)), draw(st.integers(0, 1))) for t in txns
+    }
+    nest = KNest.from_paths(paths)
+    k = draw(st.integers(2, min(max_depth, nest.k)))
+    nest = nest.truncate(k)
+    descriptions = {}
+    for t in txns:
+        n_steps = draw(st.integers(1, max_steps))
+        steps = [f"{t}s{j}" for j in range(n_steps)]
+        cut_levels = {}
+        for gap in range(n_steps - 1):
+            level = draw(st.one_of(st.none(), st.integers(2, k)))
+            if level is not None:
+                cut_levels[gap] = level
+        descriptions[t] = BreakpointDescription.from_cut_levels(
+            steps, k, cut_levels
+        )
+    return InterleavingSpec(nest, descriptions)
+
+
+@st.composite
+def specs_with_seeds(draw, max_pairs=5, **spec_kwargs):
+    """A spec plus a random cross-transaction seed relation."""
+    spec = draw(small_specs(**spec_kwargs))
+    steps = sorted(spec.steps)
+    n_pairs = draw(st.integers(0, max_pairs))
+    seed = set()
+    for _ in range(n_pairs):
+        a = draw(st.sampled_from(steps))
+        b = draw(st.sampled_from(steps))
+        if a != b:
+            seed.add((a, b))
+    return spec, seed
+
+
+@st.composite
+def specs_with_sequences(draw, **spec_kwargs):
+    """A spec plus a random total order (permutation respecting each
+    per-transaction chain) of all its steps."""
+    spec = draw(small_specs(**spec_kwargs))
+    remaining = {
+        t: list(spec.description(t).elements) for t in spec.transactions
+    }
+    sequence = []
+    while any(remaining.values()):
+        candidates = sorted(t for t, steps in remaining.items() if steps)
+        t = draw(st.sampled_from(candidates))
+        sequence.append(remaining[t].pop(0))
+    return spec, sequence

@@ -1,0 +1,146 @@
+"""Unit and property tests for Lemma 1's staged extension algorithm."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    check_correctability,
+    coherent_closure,
+    coherent_closure_pairs,
+    enumerate_coherent_extensions,
+    equivalent_atomic_order,
+    extend_to_coherent_total_order,
+    is_coherent_total_order,
+    is_correctable,
+)
+from repro.errors import NotAPartialOrderError, NotCorrectableError
+
+from tests.core.strategies import specs_with_seeds
+from tests.core.test_coherence import two_transaction_spec
+
+
+class TestExtension:
+    def test_empty_order_extends_to_some_serial_order(self):
+        spec = two_transaction_spec()
+        total = extend_to_coherent_total_order(spec, [])
+        assert is_coherent_total_order(spec, total)
+
+    def test_extension_contains_input(self):
+        spec = two_transaction_spec(k=3, cut_levels_a={0: 2})
+        pairs, _ = coherent_closure_pairs(spec, {("a1", "b1")})
+        total = extend_to_coherent_total_order(spec, pairs)
+        position = {s: i for i, s in enumerate(total)}
+        for a, b in pairs:
+            assert position[a] < position[b]
+
+    def test_cyclic_input_raises(self):
+        spec = two_transaction_spec()
+        with pytest.raises(NotAPartialOrderError):
+            extend_to_coherent_total_order(
+                spec, [("a1", "b1"), ("b1", "a1")]
+            )
+
+    def test_graph_input_accepted(self):
+        spec = two_transaction_spec()
+        result = coherent_closure(spec, {("a3", "b1")})
+        total = extend_to_coherent_total_order(spec, result.graph)
+        assert is_coherent_total_order(spec, total)
+        assert total.index("a3") < total.index("b1")
+
+
+class TestTheorem2RoundTrip:
+    def test_equivalent_atomic_order_raises_when_uncorrectable(self):
+        spec = two_transaction_spec()
+        with pytest.raises(NotCorrectableError):
+            equivalent_atomic_order(spec, {("a1", "b1"), ("b2", "a3")})
+
+    def test_report_witness(self):
+        spec = two_transaction_spec(k=3, cut_levels_a={0: 2})
+        report = check_correctability(
+            spec, {("a1", "b1"), ("b2", "a2")}, witness=True
+        )
+        assert report.correctable
+        assert is_coherent_total_order(spec, report.witness)
+
+
+# ---------------------------------------------------------------------------
+# property tests: both directions of Theorem 2 on small instances
+# ---------------------------------------------------------------------------
+
+
+@given(specs_with_seeds(max_transactions=3, max_steps=3))
+@settings(max_examples=60, deadline=None)
+def test_acyclic_closure_yields_coherent_extension(spec_and_seed):
+    """Completeness half of Theorem 2 via Lemma 1: whenever the closure is
+    acyclic, the staged algorithm produces a coherent total order that
+    contains the seed."""
+    spec, seed = spec_and_seed
+    report = check_correctability(spec, seed, witness=True)
+    if not report.correctable:
+        return
+    total = report.witness
+    assert is_coherent_total_order(spec, total)
+    position = {s: i for i, s in enumerate(total)}
+    for a, b in seed:
+        assert position[a] < position[b]
+
+
+@given(specs_with_seeds(max_transactions=3, max_steps=3, max_pairs=3))
+@settings(max_examples=40, deadline=None)
+def test_theorem2_matches_brute_force(spec_and_seed):
+    """Theorem 2 equals brute force on small instances: the closure is
+    acyclic exactly when some coherent total order contains the seed."""
+    spec, seed = spec_and_seed
+    if len(spec.steps) > 8:
+        return
+    # Brute force only works when the seed itself is acyclic as a graph.
+    decided = is_correctable(spec, seed)
+    try:
+        any_extension = next(
+            iter(enumerate_coherent_extensions(spec, seed, limit=50_000)),
+            None,
+        )
+    except NotAPartialOrderError:
+        return  # too many linearisations; skip
+    assert decided == (any_extension is not None)
+
+
+@given(specs_with_seeds(max_transactions=3, max_steps=3))
+@settings(max_examples=40, deadline=None)
+def test_witness_preserves_dependency(spec_and_seed):
+    spec, seed = spec_and_seed
+    report = check_correctability(spec, seed, witness=True)
+    if not report.correctable:
+        return
+    # Every pair of the closure (not only the seed) is preserved.
+    pairs, _ = coherent_closure_pairs(spec, seed)
+    position = {s: i for i, s in enumerate(report.witness)}
+    for a, b in pairs:
+        assert position[a] < position[b]
+
+
+@given(specs_with_seeds(max_transactions=3, max_steps=3, max_pairs=2))
+@settings(max_examples=30, deadline=None)
+def test_every_coherent_extension_contains_the_closure(spec_and_seed):
+    """The closure is sound: it only ever adds pairs that *every* coherent
+    total order containing the seed must satisfy."""
+    spec, seed = spec_and_seed
+    if len(spec.steps) > 7:
+        return
+    pairs, acyclic = coherent_closure_pairs(spec, seed)
+    if not acyclic:
+        return
+    try:
+        extensions = list(
+            enumerate_coherent_extensions(spec, seed, limit=50_000)
+        )
+    except NotAPartialOrderError:
+        return
+    for sequence in extensions:
+        position = {s: i for i, s in enumerate(sequence)}
+        for a, b in pairs:
+            assert position[a] < position[b]

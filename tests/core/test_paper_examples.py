@@ -1,0 +1,300 @@
+"""Verbatim reproduction of the paper's worked examples (X1-X8).
+
+Each test is pinned to a specific place in the text; together they check
+that our definitions coincide with the paper's on every example it gives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    atomicity_violations,
+    check_correctability,
+    coherence_violations,
+    coherent_closure,
+    coherent_closure_pairs,
+    enumerate_coherent_extensions,
+    equivalent_atomic_order,
+    extend_to_coherent_total_order,
+    is_coherent,
+    is_coherent_total_order,
+    is_correctable,
+    is_multilevel_atomic,
+)
+from repro.workloads.paper import (
+    abstract_example,
+    abstract_example_extensions,
+    banking_atomic_sequence,
+    banking_executions,
+    banking_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def abstract():
+    return abstract_example()
+
+
+class TestSection42Relations:
+    """X1-X3: the R1/R2/R3 example of Section 4.2."""
+
+    def test_r1_generators_are_coherent(self, abstract):
+        """Paper: 'R1 is a coherent partial order' — true of R1 as given
+        (generating pairs); see the erratum note in repro.workloads.paper."""
+        assert is_coherent(abstract["spec"], abstract["R1_generators"])
+
+    def test_r1_transitive_closure_erratum(self, abstract):
+        """Composing R1's pairs yields (a22, a31), which rule (b) at
+        level(t2, t3) = 1 propagates to (a23, a31)/(a24, a31) — pairs the
+        paper omits but both of its Section 5.1 extensions satisfy."""
+        assert ("a22", "a31") in abstract["R1"]
+        violations = coherence_violations(abstract["spec"], abstract["R1"])
+        assert any(
+            v.detail == ("a22", "a23", "a31") for v in violations
+        )
+        for sequence in abstract_example_extensions():
+            position = {s: i for i, s in enumerate(sequence)}
+            for a, b in abstract["closure_extras"]:
+                assert position[a] < position[b]
+
+    def test_r1_is_a_partial_order(self, abstract):
+        pairs, acyclic = coherent_closure_pairs(abstract["spec"], abstract["R1"])
+        assert acyclic
+
+    def test_r2_is_not_coherent(self, abstract):
+        violations = coherence_violations(abstract["spec"], abstract["R2"])
+        assert violations
+        # The witnessing failure: (a11, a22) in R2 but (a12, a22) missing,
+        # even though a11 < a12 share a B_t1(2) segment and level(t1,t2)=2.
+        assert any(
+            v.kind == "segment-break" and v.detail == ("a11", "a12", "a22")
+            for v in violations
+        )
+
+    def test_r3_is_not_coherent(self, abstract):
+        assert not is_coherent(abstract["spec"], abstract["R3"])
+
+    def test_closure_of_r2_equals_closure_of_r1(self, abstract):
+        """Paper: 'The coherent closure of R2 is just the partial order R1'
+        — modulo the R1 erratum: both closures coincide and equal R1 plus
+        the four transitively implied pairs."""
+        pairs_r2, acyclic = coherent_closure_pairs(abstract["spec"], abstract["R2"])
+        assert acyclic
+        pairs_r1, _ = coherent_closure_pairs(abstract["spec"], abstract["R1"])
+        assert pairs_r2 == pairs_r1
+        assert abstract["R2"] <= abstract["R1"]
+
+    def test_closure_of_r1_adds_only_the_erratum_pairs(self, abstract):
+        pairs, acyclic = coherent_closure_pairs(abstract["spec"], abstract["R1"])
+        assert acyclic
+        assert pairs == abstract["R1"] | abstract["closure_extras"]
+
+    def test_closure_of_r3_contains_cycle(self, abstract):
+        """Paper: R4 (= closure of R3) contains the cycle
+        a33 -> a11 -> a22 -> a33."""
+        pairs, acyclic = coherent_closure_pairs(abstract["spec"], abstract["R3"])
+        assert not acyclic
+        # The paper derives exactly these memberships:
+        assert ("a33", "a11") in pairs  # from (a31, a11) via B_t3(1)
+        assert ("a11", "a22") in pairs  # given in R3
+        assert ("a22", "a33") in pairs  # from (a21, a33) via B_t2(1)
+
+    def test_graph_closure_agrees_with_pairs_closure(self, abstract):
+        for name in ("R1", "R2", "R3"):
+            seed = abstract[name]
+            _, acyclic = coherent_closure_pairs(abstract["spec"], seed)
+            result = coherent_closure(abstract["spec"], seed)
+            assert result.is_partial_order == acyclic
+            if acyclic:
+                pairs, _ = coherent_closure_pairs(abstract["spec"], seed)
+                assert result.pairs() == pairs
+
+
+class TestSection51Extensions:
+    """X4: Lemma 1's example — exactly two coherent total orders contain R1."""
+
+    def test_exactly_two_coherent_extensions(self, abstract):
+        found = set(
+            enumerate_coherent_extensions(
+                abstract["spec"], abstract["R1"], limit=100_000
+            )
+        )
+        expected = {tuple(s) for s in abstract_example_extensions()}
+        assert found == expected
+
+    def test_staged_algorithm_finds_one_of_them(self, abstract):
+        total = extend_to_coherent_total_order(abstract["spec"], abstract["R1"])
+        assert tuple(total) in {
+            tuple(s) for s in abstract_example_extensions()
+        }
+        assert is_coherent_total_order(abstract["spec"], total)
+
+    def test_extension_contains_the_input_order(self, abstract):
+        total = extend_to_coherent_total_order(abstract["spec"], abstract["R1"])
+        position = {s: i for i, s in enumerate(total)}
+        for a, b in abstract["R1"]:
+            assert position[a] < position[b]
+
+
+class TestSection43Banking:
+    """X5-X6: the banking 4-nest and a multilevel-atomic interleaving."""
+
+    def test_nest_levels(self):
+        spec = banking_spec()["spec"]
+        assert spec.level("t1", "t2") == 2  # different families
+        assert spec.level("t1", "a") == 1  # audits atomic w.r.t. transfers
+        assert spec.level("t1", "t1") == 4
+
+    def test_same_family_raises_level(self):
+        spec = banking_spec(families={"t1": "f", "t2": "f", "t3": "g"})["spec"]
+        assert spec.level("t1", "t2") == 3
+        assert spec.level("t1", "t3") == 2
+
+    def test_transfer_breakpoints(self):
+        data = banking_spec()
+        desc = data["spec"].description("t1")
+        # Level 2: exactly the withdrawals/deposits boundary.
+        assert desc.classes(2) == [
+            frozenset({"w11", "w12"}),
+            frozenset({"d11", "d12"}),
+        ]
+        # Level 3: singletons (same-family transfers interleave freely).
+        assert all(len(c) == 1 for c in desc.classes(3))
+        # Level 1: the whole transfer.
+        assert desc.classes(1) == [frozenset({"w11", "w12", "d11", "d12"})]
+
+    def test_atomic_sequence_is_multilevel_atomic(self):
+        data = banking_spec()
+        assert is_multilevel_atomic(data["spec"], banking_atomic_sequence())
+
+    def test_audit_inside_transfer_is_not_atomic(self):
+        data = banking_spec()
+        sequence = banking_atomic_sequence()
+        # Move the audit's first read between t3's withdrawals and deposits.
+        sequence = [s for s in sequence if s != "a_1"]
+        sequence.insert(sequence.index("d31"), "a_1")
+        violations = atomicity_violations(data["spec"], sequence)
+        assert any(v.kind == "segment-break" for v in violations)
+
+    def test_same_family_interleaving_is_atomic(self):
+        spec = banking_spec(families={"t1": "f", "t2": "f", "t3": "g"})["spec"]
+        sequence = [
+            "w11", "w21", "w12", "d11", "w22", "d21", "d12", "d22",
+            "w31", "w32", "d31", "d32", "a_1", "a_2", "a_3",
+        ]
+        assert is_multilevel_atomic(spec, sequence)
+
+    def test_different_family_same_interleaving_is_not_atomic(self):
+        spec = banking_spec()["spec"]  # every transfer its own family
+        sequence = [
+            "w11", "w21", "w12", "d11", "w22", "d21", "d12", "d22",
+            "w31", "w32", "d31", "d32", "a_1", "a_2", "a_3",
+        ]
+        assert not is_multilevel_atomic(spec, sequence)
+
+
+class TestSection52Theorem:
+    """X7-X8: Theorem 2 on the Section 5.2 banking interleavings."""
+
+    def test_correctable_execution(self):
+        data = banking_executions()
+        sequence = data["correctable"]
+        deps = data["dependency"](sequence)
+        assert not is_multilevel_atomic(data["spec"], sequence)
+        assert is_correctable(data["spec"], deps)
+
+    def test_correctable_execution_has_atomic_witness(self):
+        data = banking_executions()
+        deps = data["dependency"](data["correctable"])
+        witness = equivalent_atomic_order(data["spec"], deps)
+        assert is_multilevel_atomic(data["spec"], witness)
+        # Equivalence: the witness preserves every dependency pair.
+        position = {s: i for i, s in enumerate(witness)}
+        for a, b in deps:
+            assert position[a] < position[b]
+
+    def test_uncorrectable_execution(self):
+        data = banking_executions()
+        deps = data["dependency"](data["uncorrectable"])
+        report = check_correctability(data["spec"], deps)
+        assert not report.correctable
+        assert report.closure.cycle is not None
+
+    def test_uncorrectable_cycle_involves_audit_and_t1(self):
+        data = banking_executions()
+        deps = data["dependency"](data["uncorrectable"])
+        report = check_correctability(data["spec"], deps)
+        spec = data["spec"]
+        owners = {spec.transaction_of(s) for s in report.closure.cycle}
+        assert "a" in owners and "t1" in owners
+
+
+class TestSection43WorkedTransfer:
+    """X9: the paper's t1 transfer, reproduced step for step."""
+
+    def _run(self, initial):
+        from repro.model import System
+        from repro.workloads.paper import worked_transfer_program
+
+        system = System([worked_transfer_program()], initial)
+        return system.serial_run(["t1"])
+
+    def test_execution_e1(self):
+        """Paper: 'Access A, see $20, leave $0.  Access B, see $150,
+        leave $70.  Access D, see $20, leave $120.'"""
+        run = self._run({"A": 20, "B": 150, "C": 40, "D": 20, "E": 0})
+        trace = [
+            (r.entity, r.value_before, r.value_after)
+            for r in run.execution.records
+        ]
+        assert trace == [("A", 20, 0), ("B", 150, 70), ("D", 20, 120)]
+
+    def test_execution_e2(self):
+        """Paper: 'Access A, see $0, leave $0. ... Access E, see $30,
+        leave $100.'"""
+        run = self._run({"A": 0, "B": 15, "C": 70, "D": 110, "E": 30})
+        trace = [
+            (r.entity, r.value_before, r.value_after)
+            for r in run.execution.records
+        ]
+        assert trace == [
+            ("A", 0, 0), ("B", 15, 0), ("C", 70, 0),
+            ("D", 110, 125), ("E", 30, 100),
+        ]
+
+    def test_e2_breakpoint_structure_matches_b2(self):
+        """Paper: 'B_{t1,e2}(2) has class {w1, w2, w3}, {d1, d2}' — the
+        only level-2 cut sits at the withdrawals/deposits boundary."""
+        from repro.model import description_from_cut_levels
+
+        run = self._run({"A": 0, "B": 15, "C": 70, "D": 110, "E": 30})
+        desc = description_from_cut_levels(
+            run.execution.steps_of("t1"), run.cut_levels["t1"], k=4
+        )
+        classes = desc.classes(2)
+        steps = run.execution.steps_of("t1")
+        assert classes == [frozenset(steps[:3]), frozenset(steps[3:])]
+
+    def test_satisfied_early_skips_remaining_sources(self):
+        """'If t1 is able to obtain $100 from A alone ... t1 need not
+        access the remaining accounts.'"""
+        run = self._run({"A": 500, "B": 1, "C": 1, "D": 0, "E": 0})
+        touched = [r.entity for r in run.execution.records]
+        assert touched == ["A", "D"]
+
+    def test_compatibility_condition_across_environments(self):
+        """Section 6's compatibility condition holds for t1 across the
+        paper's two environments (common prefixes agree on breakpoints)."""
+        from repro.model import check_program_compatibility, System
+        from repro.workloads.paper import worked_transfer_program
+
+        def factory(initial):
+            return System([worked_transfer_program()], initial)
+
+        environments = [
+            {"A": 20, "B": 150, "C": 40, "D": 20, "E": 0},
+            {"A": 0, "B": 15, "C": 70, "D": 110, "E": 30},
+            {"A": 500, "B": 0, "C": 0, "D": 0, "E": 0},
+        ]
+        assert check_program_compatibility(factory, environments, "t1")

@@ -1,0 +1,211 @@
+"""Unit and property tests for breakpoint descriptions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BreakpointDescription
+from repro.errors import SpecificationError
+
+STEPS = ["w1", "w2", "w3", "d1", "d2"]
+
+
+@pytest.fixture()
+def transfer():
+    """The paper's Section 4.2 banking description: B(2) splits
+    withdrawals from deposits, B(3)/B(4) are singletons."""
+    return BreakpointDescription.from_classes(
+        STEPS,
+        [
+            [STEPS],
+            [STEPS[:3], STEPS[3:]],
+            [[s] for s in STEPS],
+            [[s] for s in STEPS],
+        ],
+    )
+
+
+class TestConstruction:
+    def test_level_one_no_cuts(self, transfer):
+        assert transfer.cuts(1) == frozenset()
+
+    def test_level_two_one_cut(self, transfer):
+        assert transfer.cuts(2) == frozenset({2})
+
+    def test_level_k_all_cuts(self, transfer):
+        assert transfer.cuts(4) == frozenset({0, 1, 2, 3})
+
+    def test_non_contiguous_class_rejected(self):
+        with pytest.raises(SpecificationError, match="segment"):
+            BreakpointDescription.from_classes(
+                ["a", "b", "c"],
+                [[["a", "b", "c"]], [["a", "c"], ["b"]], [["a"], ["b"], ["c"]]],
+            )
+
+    def test_missing_element_rejected(self):
+        with pytest.raises(SpecificationError, match="cover"):
+            BreakpointDescription.from_classes(
+                ["a", "b"], [[["a", "b"]], [["a"]]]
+            )
+
+    def test_refinement_enforced(self):
+        # level 2 cuts {0}, level 3 cuts {1}: not monotone.
+        with pytest.raises(SpecificationError, match="refine"):
+            BreakpointDescription(["a", "b", "c"], [set(), {0}, {1}, {0, 1}])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(SpecificationError, match="distinct"):
+            BreakpointDescription(["a", "a"], [set(), {0}])
+
+    def test_level_one_cut_rejected(self):
+        with pytest.raises(SpecificationError, match="B\\(1\\)"):
+            BreakpointDescription(["a", "b"], [{0}, {0}])
+
+    def test_level_k_must_cut_everywhere(self):
+        with pytest.raises(SpecificationError, match="B\\(k\\)"):
+            BreakpointDescription(["a", "b", "c"], [set(), {0}])
+
+
+class TestFromCutLevels:
+    def test_transfer_shape(self):
+        desc = BreakpointDescription.from_cut_levels(
+            STEPS, k=4, cut_levels={0: 3, 1: 3, 2: 2, 3: 3}
+        )
+        assert desc.cuts(2) == frozenset({2})
+        assert desc.cuts(3) == frozenset({0, 1, 2, 3})
+
+    def test_declared_level_bounds(self):
+        with pytest.raises(SpecificationError):
+            BreakpointDescription.from_cut_levels(STEPS, k=4, cut_levels={0: 1})
+        with pytest.raises(SpecificationError):
+            BreakpointDescription.from_cut_levels(STEPS, k=4, cut_levels={0: 5})
+
+    def test_gap_bounds(self):
+        with pytest.raises(SpecificationError):
+            BreakpointDescription.from_cut_levels(STEPS, k=4, cut_levels={9: 2})
+
+    def test_serial(self):
+        desc = BreakpointDescription.serial(["a", "b", "c"])
+        assert desc.k == 2
+        assert desc.cuts(1) == frozenset()
+        assert desc.cuts(2) == frozenset({0, 1})
+
+    def test_free(self):
+        desc = BreakpointDescription.free(["a", "b", "c"], k=3)
+        assert desc.cuts(2) == frozenset({0, 1})
+
+
+class TestQueries:
+    def test_segment_bounds(self, transfer):
+        assert transfer.segment_bounds(2, "w2") == (0, 2)
+        assert transfer.segment_bounds(2, "d1") == (3, 4)
+        assert transfer.segment_bounds(1, "w2") == (0, 4)
+        assert transfer.segment_bounds(4, "w2") == (1, 1)
+
+    def test_segment_last(self, transfer):
+        assert transfer.segment_last(2, "w1") == "w3"
+        assert transfer.segment_last(2, "d1") == "d2"
+        assert transfer.segment_last(1, "w1") == "d2"
+        assert transfer.segment_last(3, "w1") == "w1"
+
+    def test_same_segment(self, transfer):
+        assert transfer.same_segment(2, "w1", "w3")
+        assert not transfer.same_segment(2, "w3", "d1")
+        assert transfer.same_segment(1, "w1", "d2")
+
+    def test_segments(self, transfer):
+        assert transfer.segments(2) == [("w1", "w2", "w3"), ("d1", "d2")]
+        assert transfer.segments(1) == [tuple(STEPS)]
+
+    def test_classes_round_trip(self, transfer):
+        rebuilt = BreakpointDescription.from_classes(
+            STEPS, [transfer.classes(i) for i in range(1, 5)]
+        )
+        assert rebuilt == transfer
+
+    def test_min_cut_level(self, transfer):
+        assert transfer.min_cut_level(2) == 2
+        assert transfer.min_cut_level(0) == 3
+
+    def test_unknown_element(self, transfer):
+        with pytest.raises(SpecificationError):
+            transfer.index_of("zz")
+
+    def test_singleton_sequence(self):
+        desc = BreakpointDescription.serial(["only"])
+        assert desc.segments(1) == [("only",)]
+        assert desc.segment_last(1, "only") == "only"
+
+
+class TestDerivation:
+    def test_truncate(self, transfer):
+        t = transfer.truncate(2)
+        assert t.k == 2
+        assert t.cuts(2) == frozenset({0, 1, 2, 3})
+
+    def test_truncate_keeps_lower_levels(self, transfer):
+        t = transfer.truncate(3)
+        assert t.cuts(2) == frozenset({2})
+        assert t.cuts(3) == frozenset({0, 1, 2, 3})
+
+    def test_prefix(self, transfer):
+        p = transfer.prefix(3)
+        assert p.elements == ("w1", "w2", "w3")
+        assert p.cuts(2) == frozenset()
+        p4 = transfer.prefix(4)
+        assert p4.cuts(2) == frozenset({2})
+
+    def test_prefix_bounds(self, transfer):
+        with pytest.raises(SpecificationError):
+            transfer.prefix(9)
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def descriptions(draw):
+    n = draw(st.integers(1, 12))
+    k = draw(st.integers(2, 5))
+    elements = [f"s{i}" for i in range(n)]
+    cut_levels = draw(
+        st.dictionaries(st.integers(0, max(n - 2, 0)), st.integers(2, k))
+        if n > 1
+        else st.just({})
+    )
+    return BreakpointDescription.from_cut_levels(elements, k, cut_levels)
+
+
+@given(descriptions())
+@settings(max_examples=80)
+def test_segments_partition_elements(desc):
+    for level in range(1, desc.k + 1):
+        flattened = [e for seg in desc.segments(level) for e in seg]
+        assert flattened == list(desc.elements)
+
+
+@given(descriptions(), st.data())
+@settings(max_examples=80)
+def test_refinement_means_smaller_segments(desc, data):
+    element = data.draw(st.sampled_from(list(desc.elements)))
+    previous = None
+    for level in range(1, desc.k + 1):
+        lo, hi = desc.segment_bounds(level, element)
+        if previous is not None:
+            assert previous[0] <= lo and hi <= previous[1]
+        previous = (lo, hi)
+
+
+@given(descriptions(), st.data())
+@settings(max_examples=80)
+def test_segment_last_is_in_segment_and_maximal(desc, data):
+    element = data.draw(st.sampled_from(list(desc.elements)))
+    level = data.draw(st.integers(1, desc.k))
+    last = desc.segment_last(level, element)
+    segment = desc.segment_of(level, element)
+    assert last == segment[-1]
+    assert desc.index_of(last) >= desc.index_of(element)

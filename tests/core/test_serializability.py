@@ -1,0 +1,127 @@
+"""Tests for the k=2 and k=3 special cases (Section 4.3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compatibility_sets_spec,
+    is_coherent_total_order,
+    is_correctable,
+    is_serial,
+    is_serializable,
+    serializability_spec,
+)
+from repro.errors import SpecificationError
+
+ORDERS = {"t": ["t0", "t1"], "u": ["u0", "u1"]}
+
+
+class TestSerializabilitySpec:
+    def test_k_is_two(self):
+        spec = serializability_spec(ORDERS)
+        assert spec.k == 2
+        assert spec.level("t", "u") == 1
+
+    def test_atomic_executions_are_exactly_serial(self):
+        """Section 4.3: with k=2 'the multilevel atomic executions are
+        just the serial executions' — checked exhaustively."""
+        spec = serializability_spec(ORDERS)
+        steps = ["t0", "t1", "u0", "u1"]
+        for sequence in itertools.permutations(steps):
+            position = {s: i for i, s in enumerate(sequence)}
+            if position["t0"] > position["t1"] or position["u0"] > position["u1"]:
+                continue  # not an execution of the transactions at all
+            assert is_coherent_total_order(spec, sequence) == is_serial(
+                ORDERS, sequence
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            serializability_spec({})
+
+    def test_is_serializable_detects_cycle(self):
+        deps = {("t0", "u0"), ("u1", "t1")}
+        assert not is_serializable(ORDERS, deps)
+
+    def test_is_serializable_accepts_order(self):
+        deps = {("t0", "u0"), ("t1", "u1")}
+        assert is_serializable(ORDERS, deps)
+
+
+class TestCompatibilitySets:
+    def test_k_is_three(self):
+        spec = compatibility_sets_spec(ORDERS, [["t", "u"]])
+        assert spec.k == 3
+        assert spec.level("t", "u") == 2
+
+    def test_compatible_transactions_interleave_arbitrarily(self):
+        spec = compatibility_sets_spec(ORDERS, [["t", "u"]])
+        assert is_coherent_total_order(spec, ["t0", "u0", "t1", "u1"])
+        assert is_coherent_total_order(spec, ["u0", "t0", "u1", "t1"])
+
+    def test_incompatible_transactions_serialize(self):
+        spec = compatibility_sets_spec(ORDERS, [["t"], ["u"]])
+        assert not is_coherent_total_order(spec, ["t0", "u0", "t1", "u1"])
+        assert is_coherent_total_order(spec, ["t0", "t1", "u0", "u1"])
+
+    def test_mixed_classes(self):
+        orders = {"a": ["a0", "a1"], "b": ["b0", "b1"], "c": ["c0"]}
+        spec = compatibility_sets_spec(orders, [["a", "b"], ["c"]])
+        # a and b interleave; c must be serial w.r.t. both.
+        assert is_coherent_total_order(spec, ["a0", "b0", "a1", "b1", "c0"])
+        assert not is_coherent_total_order(spec, ["a0", "c0", "a1", "b0", "b1"])
+
+
+class TestIsSerial:
+    def test_serial_orders(self):
+        assert is_serial(ORDERS, ["t0", "t1", "u0", "u1"])
+        assert is_serial(ORDERS, ["u0", "u1", "t0", "t1"])
+
+    def test_interleaved_not_serial(self):
+        assert not is_serial(ORDERS, ["t0", "u0", "t1", "u1"])
+
+    def test_empty_transaction_ignored(self):
+        orders = {"t": ["t0"], "empty": []}
+        assert is_serial(orders, ["t0"])
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_serializable_implies_mla_correctable(seed):
+    """Serializability is the k=2 floor: any dependency set acceptable at
+    k=2 is acceptable for every refinement of the criterion."""
+    import random
+
+    from repro.core import BreakpointDescription, InterleavingSpec, KNest
+
+    rng = random.Random(seed)
+    orders = {
+        f"t{i}": [f"t{i}s{j}" for j in range(rng.randint(1, 3))]
+        for i in range(3)
+    }
+    steps = [s for order in orders.values() for s in order]
+    deps = set()
+    for _ in range(rng.randint(0, 4)):
+        a, b = rng.sample(steps, 2)
+        deps.add((a, b))
+    flat_ok = is_correctable(serializability_spec(orders), deps)
+    if not flat_ok:
+        return
+    # A random 3-level refinement with random breakpoints.
+    nest = KNest.from_paths({t: (rng.randint(0, 1),) for t in orders})
+    descriptions = {
+        t: BreakpointDescription.from_cut_levels(
+            order,
+            k=3,
+            cut_levels={
+                g: 2 for g in range(len(order) - 1) if rng.random() < 0.5
+            },
+        )
+        for t, order in orders.items()
+    }
+    assert is_correctable(InterleavingSpec(nest, descriptions), deps)

@@ -1,0 +1,201 @@
+"""Tests for the migrating-transaction distributed substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_correctability
+from repro.distributed import (
+    DistributedLockControl,
+    DistributedPreventControl,
+    DistributedRuntime,
+    Message,
+    Network,
+    NoControl,
+)
+from repro.errors import NetworkError
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return BankingWorkload(BankingConfig(families=3, transfers=4, seed=7))
+
+
+class TestNetwork:
+    def test_fifo_per_target(self):
+        received = []
+        network = Network(latency=(1.0, 50.0), seed=1)
+        network.register("sink", lambda m: received.append(m.payload["i"]))
+        for i in range(20):
+            network.send("sink", Message("tick", {"i": i}))
+        network.run()
+        assert received == list(range(20))
+
+    def test_unregistered_target(self):
+        network = Network()
+        with pytest.raises(NetworkError, match="no handler"):
+            network.send("ghost", Message("x"))
+
+    def test_duplicate_registration(self):
+        network = Network()
+        network.register("a", lambda m: None)
+        with pytest.raises(NetworkError, match="already"):
+            network.register("a", lambda m: None)
+
+    def test_handlers_can_send(self):
+        network = Network(seed=0)
+        log = []
+
+        def ping(message):
+            log.append("ping")
+            if len(log) < 4:
+                network.send("pong", Message("m"))
+
+        def pong(message):
+            log.append("pong")
+            network.send("ping", Message("m"))
+
+        network.register("ping", ping)
+        network.register("pong", pong)
+        network.send("ping", Message("m"))
+        makespan = network.run()
+        assert log[:4] == ["ping", "pong", "ping", "pong"]
+        assert makespan > 0
+
+    def test_message_counters(self):
+        network = Network()
+        network.register("sink", lambda m: None)
+        network.send("sink", Message("a"))
+        network.send("sink", Message("a"))
+        network.send("sink", Message("b"))
+        assert network.messages_sent == 3
+        assert network.messages_by_kind == {"a": 2, "b": 1}
+
+    def test_bad_latency(self):
+        with pytest.raises(NetworkError):
+            Network(latency=(5.0, 1.0))
+
+
+class TestRuntime:
+    def test_all_controls_commit_everything(self, bank):
+        for control in (
+            NoControl(),
+            DistributedLockControl(),
+            DistributedPreventControl(bank.nest),
+        ):
+            runtime = DistributedRuntime(
+                bank.programs, bank.accounts, control, nodes=3, seed=2
+            )
+            result = runtime.run()
+            assert result.commits == len(bank.programs)
+            result.execution.validate()
+
+    def test_prevention_always_correctable(self, bank):
+        for seed in range(5):
+            runtime = DistributedRuntime(
+                bank.programs,
+                bank.accounts,
+                DistributedPreventControl(bank.nest),
+                nodes=4,
+                seed=seed,
+            )
+            result = runtime.run()
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+            assert not bank.invariant_violations(result)
+
+    def test_locking_always_correctable(self, bank):
+        for seed in range(5):
+            runtime = DistributedRuntime(
+                bank.programs,
+                bank.accounts,
+                DistributedLockControl(),
+                nodes=4,
+                seed=seed,
+            )
+            result = runtime.run()
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+
+    def test_no_control_breaks_invariants_sometimes(self, bank):
+        broken = 0
+        for seed in range(8):
+            runtime = DistributedRuntime(
+                bank.programs, bank.accounts, NoControl(), nodes=4, seed=seed
+            )
+            result = runtime.run()
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            if not report.correctable or bank.invariant_violations(result):
+                broken += 1
+        assert broken > 0
+
+    def test_single_node_cluster(self, bank):
+        runtime = DistributedRuntime(
+            bank.programs,
+            bank.accounts,
+            DistributedPreventControl(bank.nest),
+            nodes=1,
+            seed=0,
+        )
+        result = runtime.run()
+        assert result.commits == len(bank.programs)
+
+    def test_entity_placement_spreads(self, bank):
+        runtime = DistributedRuntime(
+            bank.programs, bank.accounts, NoControl(), nodes=3, seed=0
+        )
+        sizes = [len(node.store.entities) for node in runtime.nodes]
+        assert all(size > 0 for size in sizes)
+        assert sum(sizes) == len(bank.accounts)
+
+    def test_admission_protocol_message_shape(self, bank):
+        """Every performed step costs a request and a grant; waiting shows
+        up as deny/retry pairs (abort thrash can make the *total* counts
+        of different controls incomparable, so we check the protocol
+        shape, not a cross-control inequality)."""
+        result = DistributedRuntime(
+            bank.programs,
+            bank.accounts,
+            DistributedPreventControl(bank.nest),
+            nodes=3,
+            seed=3,
+        ).run()
+        kinds = result.messages_by_kind
+        assert kinds["grant"] >= len(result.execution)
+        assert kinds["request"] >= kinds["grant"]
+        assert kinds["performed"] >= kinds["grant"]
+
+    def test_node_count_in_result(self, bank):
+        result = DistributedRuntime(
+            bank.programs, bank.accounts, NoControl(), nodes=5, seed=0
+        ).run()
+        assert result.node_count == 5
+        assert result.summary()["nodes"] == 5
+
+
+@given(seed=st.integers(0, 500), nodes=st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_prevention_correctable_across_seeds(seed, nodes):
+    bank = BankingWorkload(BankingConfig(families=2, transfers=3, seed=11))
+    runtime = DistributedRuntime(
+        bank.programs,
+        bank.accounts,
+        DistributedPreventControl(bank.nest),
+        nodes=nodes,
+        seed=seed,
+    )
+    result = runtime.run()
+    report = check_correctability(
+        result.spec(bank.nest), result.execution.dependency_edges()
+    )
+    assert report.correctable
+    assert not bank.invariant_violations(result)

@@ -1,0 +1,98 @@
+"""Unit tests for the lock manager."""
+
+from __future__ import annotations
+
+from repro.engine import LockManager, LockMode
+
+
+class TestAcquire:
+    def test_exclusive_then_conflict(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("b", "X", LockMode.SHARED)
+
+    def test_shared_locks_coexist(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+        assert locks.try_acquire("b", "X", LockMode.SHARED)
+        assert not locks.try_acquire("c", "X", LockMode.EXCLUSIVE)
+
+    def test_reacquire_same_mode(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+
+    def test_exclusive_holder_may_read(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+
+    def test_upgrade_when_sole_holder(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+        assert locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        locks = LockManager()
+        assert locks.try_acquire("a", "X", LockMode.SHARED)
+        assert locks.try_acquire("b", "X", LockMode.SHARED)
+        assert not locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+
+
+class TestFIFO:
+    def test_first_waiter_gets_lock_after_release(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("c", "X", LockMode.EXCLUSIVE)
+        locks.release_all("a")
+        # b is at the head of the queue; c must still wait behind b.
+        assert not locks.try_acquire("c", "X", LockMode.EXCLUSIVE)
+        assert locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+
+    def test_release_removes_from_queue(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+        locks.try_acquire("c", "X", LockMode.EXCLUSIVE)
+        locks.release_all("b")
+        locks.release_all("a")
+        assert locks.try_acquire("c", "X", LockMode.EXCLUSIVE)
+
+
+class TestDeadlock:
+    def test_simple_cycle_detected(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        locks.try_acquire("b", "Y", LockMode.EXCLUSIVE)
+        locks.try_acquire("a", "Y", LockMode.EXCLUSIVE)
+        locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+        cycle = locks.deadlock_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"a", "b"}
+
+    def test_no_cycle_when_waiting_chain(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.EXCLUSIVE)
+        locks.try_acquire("b", "X", LockMode.EXCLUSIVE)
+        assert locks.deadlock_cycle() is None
+
+    def test_shared_waiters_do_not_conflict_with_sharers(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.SHARED)
+        locks.try_acquire("b", "X", LockMode.EXCLUSIVE)  # waits
+        edges = locks.waits_for_edges()
+        assert ("b", "a") in edges
+
+    def test_consistency_assertion(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.SHARED)
+        locks.try_acquire("b", "X", LockMode.SHARED)
+        locks.assert_consistent()
+
+    def test_held_by(self):
+        locks = LockManager()
+        locks.try_acquire("a", "X", LockMode.SHARED)
+        locks.try_acquire("a", "Y", LockMode.EXCLUSIVE)
+        assert sorted(locks.held_by("a")) == ["X", "Y"]

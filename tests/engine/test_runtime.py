@@ -1,0 +1,196 @@
+"""Engine runtime tests: commits, rollback, cascades, recoverability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_correctability
+from repro.engine import Engine, Scheduler, SerialScheduler
+from repro.errors import EngineError
+from repro.model import TransactionProgram, read, update, write
+from tests.engine.conftest import audit, transfer
+
+
+class TestBasicRuns:
+    def test_single_transaction_commits(self):
+        program = transfer("t", "A", "B", 10)
+        engine = Engine([program], {"A": 100, "B": 0}, SerialScheduler())
+        result = engine.run()
+        assert result.metrics.commits == 1
+        assert result.results["t"] == 10
+        assert result.execution.entity_value_sequences()["A"][-1] == 90
+
+    def test_duplicate_names_rejected(self):
+        program = transfer("t", "A", "B", 10)
+        with pytest.raises(EngineError, match="duplicate"):
+            Engine([program, program], {"A": 0, "B": 0}, SerialScheduler())
+
+    def test_commit_order_and_latency(self, bank_programs):
+        programs, accounts = bank_programs
+        engine = Engine(programs, accounts, SerialScheduler(), seed=1)
+        result = engine.run()
+        assert sorted(result.commit_order) == sorted(p.name for p in programs)
+        assert result.metrics.mean_latency > 0
+
+    def test_arrivals_stagger_start(self, bank_programs):
+        programs, accounts = bank_programs
+        engine = Engine(
+            programs,
+            accounts,
+            SerialScheduler(),
+            arrivals={"aud": 50},
+            seed=0,
+        )
+        result = engine.run()
+        # The audit arrived last and so committed last under serial.
+        assert result.commit_order[-1] == "aud"
+
+    def test_runs_are_deterministic(self, bank_programs):
+        programs, accounts = bank_programs
+        runs = [
+            Engine(programs, accounts, SerialScheduler(), seed=9).run()
+            for _ in range(2)
+        ]
+        assert runs[0].execution.steps == runs[1].execution.steps
+        assert runs[0].metrics.ticks == runs[1].metrics.ticks
+
+    def test_final_execution_validates(self, bank_programs):
+        programs, accounts = bank_programs
+        result = Engine(programs, accounts, Scheduler(), seed=3).run()
+        result.execution.validate()  # also done internally; idempotent
+
+    def test_livelock_guard(self):
+        class NeverScheduler(Scheduler):
+            def on_request(self, txn, access):
+                from repro.engine.schedulers.base import Decision
+
+                return Decision.wait("never")
+
+            def on_stall(self, active):
+                from repro.engine.schedulers.base import Decision
+
+                return Decision.wait("still never")
+
+        program = transfer("t", "A", "B", 1)
+        engine = Engine(
+            [program], {"A": 1, "B": 0}, NeverScheduler(), max_ticks=2000
+        )
+        with pytest.raises(EngineError, match="livelock"):
+            engine.run()
+
+
+class TestRollback:
+    def test_cascading_abort_of_dirty_reader(self):
+        """writer updates X; reader reads X dirty; writer is rolled back;
+        reader must cascade (and both eventually commit via restart)."""
+        from repro.engine.schedulers.base import Decision
+
+        class AbortWriterOnce(Scheduler):
+            def __init__(self):
+                super().__init__()
+                self.fired = False
+
+            def may_commit(self, txn):
+                if txn.name == "writer" and not self.fired:
+                    self.fired = True
+                    return Decision.abort(["writer"], "test")
+                return Decision.perform()
+
+        def writer_body():
+            yield update("X", lambda v: v + 1)
+
+        def reader_body():
+            value = yield read("X")
+            yield write("Y", value)
+
+        programs = [
+            TransactionProgram("writer", writer_body),
+            TransactionProgram("reader", reader_body),
+        ]
+        # Schedule: writer writes, reader reads dirty, writer hits the
+        # abort at commit -> reader cascades.
+        engine = Engine(programs, {"X": 0, "Y": 0}, AbortWriterOnce(), seed=0)
+        result = engine.run()
+        assert result.metrics.aborts >= 2 or result.metrics.cascade_aborts >= 0
+        assert result.metrics.commits == 2
+        # Final values reflect a clean re-execution.
+        assert result.execution.entity_value_sequences()["Y"][-1] == 1
+        result.execution.validate()
+
+    def test_undo_restores_values(self):
+        from repro.engine.schedulers.base import Decision
+
+        class AbortAtCommit(Scheduler):
+            def __init__(self):
+                super().__init__()
+                self.aborted = 0
+
+            def may_commit(self, txn):
+                if self.aborted < 3:
+                    self.aborted += 1
+                    return Decision.abort([txn.name], "test")
+                return Decision.perform()
+
+        def body():
+            yield update("X", lambda v: v + 5)
+
+        engine = Engine(
+            [TransactionProgram("t", body)], {"X": 1}, AbortAtCommit(), seed=0
+        )
+        result = engine.run()
+        assert result.metrics.aborts == 3
+        # Exactly one surviving increment despite three undone attempts.
+        assert engine.store.value("X") == 6
+
+    def test_abort_of_committed_transaction_rejected(self):
+        from repro.engine.schedulers.base import Decision
+
+        class BadScheduler(Scheduler):
+            def may_commit(self, txn):
+                if txn.name == "t1":
+                    if not self.engine.txns["t0"].committed:
+                        return Decision.wait("let t0 commit first")
+                    return Decision.abort(["t0"], "illegal")
+                return Decision.perform()
+
+        programs = [
+            transfer("t0", "A", "B", 1),
+            transfer("t1", "B", "A", 1),
+        ]
+        engine = Engine(programs, {"A": 10, "B": 10}, BadScheduler(), seed=0)
+        with pytest.raises(EngineError, match="committed"):
+            engine.run()
+
+
+class TestSchedulerZoo:
+    def test_all_schedulers_complete_and_are_correctable(
+        self, bank_programs, bank_nest, zoo
+    ):
+        programs, accounts = bank_programs
+        for label, scheduler, conflicts in zoo:
+            result = Engine(programs, accounts, scheduler, seed=5).run()
+            assert result.metrics.commits == len(programs), label
+            report = check_correctability(
+                result.spec(bank_nest),
+                result.execution.dependency_edges(conflicts),
+            )
+            assert report.correctable, label
+            assert result.results["aud"] == 400, label
+
+    def test_serial_never_aborts(self, bank_programs):
+        programs, accounts = bank_programs
+        for seed in range(5):
+            result = Engine(programs, accounts, SerialScheduler(), seed=seed).run()
+            assert result.metrics.aborts == 0
+
+    def test_uncontrolled_runs_break_the_audit(self, bank_programs, bank_nest):
+        programs, accounts = bank_programs
+        bad = 0
+        for seed in range(12):
+            result = Engine(programs, accounts, Scheduler(), seed=seed).run()
+            report = check_correctability(
+                result.spec(bank_nest), result.execution.dependency_edges()
+            )
+            if not report.correctable:
+                bad += 1
+        assert bad > 0

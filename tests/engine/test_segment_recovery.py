@@ -1,0 +1,199 @@
+"""Tests for the segment unit of recovery (partial rollback + replay)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_correctability
+from repro.engine import Engine, MLADetectScheduler, Scheduler
+from repro.engine.schedulers.base import Decision
+from repro.errors import EngineError
+from repro.model import TransactionProgram, read, update, write
+from repro.model.programs import Breakpoint
+from repro.model.system import _LiveTransaction
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+class TestFastForward:
+    def test_replay_reproduces_state(self):
+        def body():
+            a = yield read("A")
+            yield Breakpoint(2)
+            yield write("B", a + 1)
+
+        program = TransactionProgram("t", body)
+        original = _LiveTransaction(program)
+        from repro.model import EntityStore
+
+        store = EntityStore({"A": 10, "B": 0})
+        original.perform(store)
+
+        replayed = _LiveTransaction(program)
+        replayed.fast_forward(original.results_log[:1])
+        assert replayed.steps_taken == 1
+        assert replayed.cut_levels == original.cut_levels
+        assert replayed.pending.entity == "B"
+
+    def test_fast_forward_requires_fresh(self):
+        program = TransactionProgram("t", lambda: iter([write("A", 1)]))
+        from repro.model import EntityStore
+
+        live = _LiveTransaction(program)
+        live.perform(EntityStore({"A": 0}))
+        with pytest.raises(EngineError, match="fresh"):
+            live.fast_forward([None])
+
+    def test_fast_forward_overrun(self):
+        program = TransactionProgram("t", lambda: iter([write("A", 1)]))
+        live = _LiveTransaction(program)
+        with pytest.raises(EngineError, match="ran out"):
+            live.fast_forward([None, None])
+
+
+class SurgicalAbort(Scheduler):
+    """Aborts a named victim from a given step index, exactly once, as
+    soon as the victim has performed past that index."""
+
+    def __init__(self, victim: str, index: int):
+        super().__init__()
+        self.victim = victim
+        self.index = index
+        self.fired = False
+
+    def after_performed(self, txn, record):
+        if (
+            not self.fired
+            and txn.name == self.victim
+            and record.step.index >= self.index
+        ):
+            self.fired = True
+            return Decision.abort(
+                [self.victim], "surgical", points={self.victim: self.index}
+            )
+        return None
+
+
+class TestSegmentRollback:
+    def _programs(self):
+        def t_body():
+            yield update("X", lambda v: v + 1)
+            yield Breakpoint(2)
+            yield update("Y", lambda v: v + 1)
+            yield Breakpoint(2)
+            yield update("Z", lambda v: v + 1)
+
+        return [TransactionProgram("t", t_body)]
+
+    def test_partial_rollback_preserves_prefix(self):
+        engine = Engine(
+            self._programs(), {"X": 0, "Y": 0, "Z": 0},
+            SurgicalAbort("t", 1), seed=0, recovery="segment",
+        )
+        result = engine.run()
+        metrics = result.metrics
+        assert metrics.partial_rollbacks == 1
+        assert metrics.steps_preserved == 1   # X-update survives
+        assert metrics.restarts == 0          # never a full restart
+        assert engine.store.value("X") == 1
+        assert engine.store.value("Y") == 1
+        assert engine.store.value("Z") == 1
+        result.execution.validate()
+
+    def test_rollback_point_inside_first_segment_is_full_restart(self):
+        engine = Engine(
+            self._programs(), {"X": 0, "Y": 0, "Z": 0},
+            SurgicalAbort("t", 0), seed=0, recovery="segment",
+        )
+        result = engine.run()
+        assert result.metrics.restarts == 1
+        assert result.metrics.partial_rollbacks == 0
+        assert engine.store.value("X") == 1
+
+    def test_transaction_mode_ignores_points(self):
+        engine = Engine(
+            self._programs(), {"X": 0, "Y": 0, "Z": 0},
+            SurgicalAbort("t", 1), seed=0, recovery="transaction",
+        )
+        result = engine.run()
+        assert result.metrics.partial_rollbacks == 0
+        assert result.metrics.restarts == 1
+        assert engine.store.value("Z") == 1
+
+    def test_cascade_partial_rollback_of_reader(self):
+        """The reader of an undone write rolls back only to its own
+        segment boundary."""
+
+        def writer_body():
+            yield update("X", lambda v: v + 1)
+            yield Breakpoint(2)
+            yield update("W", lambda v: v + 1)
+
+        def reader_body():
+            yield update("P", lambda v: v + 1)
+            yield Breakpoint(2)
+            while True:
+                value = yield read("X")
+                if value:  # poll until the writer's (dirty) value lands
+                    break
+            yield write("Q", value)
+
+        programs = [
+            TransactionProgram("writer", writer_body),
+            TransactionProgram("reader", reader_body),
+        ]
+
+        class AbortWriterLate(Scheduler):
+            def __init__(self):
+                super().__init__()
+                self.fired = False
+
+            def may_commit(self, txn):
+                if txn.name == "writer" and not self.fired:
+                    reader = self.engine.txns["reader"]
+                    if reader.steps_taken >= 3:
+                        self.fired = True
+                        return Decision.abort(
+                            ["writer"], "test", points={"writer": 0}
+                        )
+                    return Decision.wait("let the reader get dirty")
+                return Decision.perform()
+
+        engine = Engine(
+            programs, {"X": 0, "W": 0, "P": 0, "Q": 0},
+            AbortWriterLate(), seed=2, recovery="segment",
+        )
+        result = engine.run()
+        # The reader kept its P-segment and replayed only the X/Q part.
+        assert result.metrics.partial_rollbacks >= 1
+        assert result.metrics.steps_preserved >= 1
+        assert engine.store.value("Q") == 1
+        result.execution.validate()
+
+    def test_invalid_recovery_mode(self):
+        with pytest.raises(EngineError, match="recovery"):
+            Engine(self._programs(), {"X": 0, "Y": 0, "Z": 0},
+                   Scheduler(), recovery="bogus")
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=15, deadline=None)
+def test_segment_recovery_preserves_correctness(seed):
+    """Property: under cycle detection with segment recovery, every run
+    commits everything, validates, is correctable, and keeps the audit
+    exact — same guarantees as whole-transaction recovery."""
+    bank = BankingWorkload(BankingConfig(
+        families=2, accounts_per_family=2, transfers=5,
+        intra_family_ratio=1.0, bank_audits=1, creditor_audits=0, seed=3,
+    ))
+    result = bank.engine(
+        MLADetectScheduler(bank.nest), seed=seed, recovery="segment",
+        max_ticks=200_000,
+    ).run()
+    assert result.metrics.commits == len(bank.programs)
+    report = check_correctability(
+        result.spec(bank.nest), result.execution.dependency_edges()
+    )
+    assert report.correctable
+    assert result.results["audit0"] == bank.grand_total

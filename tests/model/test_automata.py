@@ -1,0 +1,142 @@
+"""Tests for the Section 3.1 automaton formalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KNest, check_correctability
+from repro.engine import Engine, MLADetectScheduler, SerialScheduler
+from repro.errors import SpecificationError
+from repro.model import System
+from repro.model.automata import Automaton, Transition, automaton_program
+
+
+def counter_automaton(entity: str, limit: int) -> Automaton:
+    """Increment ``entity`` until it reaches ``limit``."""
+
+    def delta(state, value):
+        if value + 1 >= limit:
+            return Transition(value + 1, "done")
+        return Transition(value + 1, "counting", breakpoint_level=2)
+
+    return Automaton(
+        start="counting",
+        entity_of=lambda state: entity,
+        delta=delta,
+        final_states=frozenset({"done"}),
+    )
+
+
+def revoking_automaton(entity: str, threshold: int) -> Automaton:
+    """Garcia-Molina-style revoking transaction: take 10 from the
+    entity, then *revoke* (add it back) if the remainder dropped below
+    the threshold."""
+
+    def delta(state, value):
+        if state == "take":
+            return Transition(value - 10, "inspect", breakpoint_level=2)
+        if state == "inspect":
+            if value < threshold:
+                return Transition(value + 10, "done")  # revoke
+            return Transition(value, "done")
+        raise AssertionError(state)
+
+    return Automaton(
+        start="take",
+        entity_of=lambda state: entity,
+        delta=delta,
+        final_states=frozenset({"done"}),
+    )
+
+
+class TestAutomaton:
+    def test_run_states(self):
+        automaton = counter_automaton("X", 3)
+        assert automaton.run_states([0, 1, 2]) == [
+            "counting", "counting", "counting", "done"
+        ]
+
+    def test_program_runs_to_final_state(self):
+        program = automaton_program("count", counter_automaton("X", 5))
+        system = System([program], {"X": 0})
+        run = system.serial_run(["count"])
+        assert run.execution.entity_value_sequences()["X"][-1] == 5
+        assert len(run.execution) == 5
+
+    def test_breakpoints_emitted(self):
+        program = automaton_program("count", counter_automaton("X", 3))
+        system = System([program], {"X": 0})
+        run = system.serial_run(["count"])
+        # Breakpoints after every non-final step: gaps 0 and 1.
+        assert run.cut_levels["count"] == {0: 2, 1: 2}
+
+    def test_revoking_transaction_revokes(self):
+        program = automaton_program("revoke", revoking_automaton("A", 50))
+        poor = System([program], {"A": 55})
+        run = poor.serial_run(["revoke"])
+        # 55 - 10 = 45 < 50: revoked back to 55.
+        assert run.execution.entity_value_sequences()["A"][-1] == 55
+
+    def test_revoking_transaction_keeps_when_safe(self):
+        program = automaton_program("revoke", revoking_automaton("A", 50))
+        rich = System([program], {"A": 100})
+        run = rich.serial_run(["revoke"])
+        assert run.execution.entity_value_sequences()["A"][-1] == 90
+
+    def test_max_steps_guard(self):
+        runaway = Automaton(
+            start="loop",
+            entity_of=lambda s: "X",
+            delta=lambda s, v: Transition(v + 1, "loop"),
+            final_states=frozenset(),
+            max_steps=10,
+        )
+        program = automaton_program("loop", runaway)
+        system = System([program], {"X": 0})
+        with pytest.raises(SpecificationError, match="exceeded"):
+            system.serial_run(["loop"])
+
+
+class TestAutomataUnderEngine:
+    def test_concurrent_automata_are_correctable(self):
+        def stepper(entity: str, n: int) -> Automaton:
+            """Add 1 to ``entity`` exactly ``n`` times (own-step count,
+            independent of the shared value)."""
+
+            def delta(state, value):
+                remaining = state
+                if remaining == 1:
+                    return Transition(value + 1, "done")
+                return Transition(value + 1, remaining - 1, breakpoint_level=2)
+
+            return Automaton(
+                start=n,
+                entity_of=lambda state: entity,
+                delta=delta,
+                final_states=frozenset({"done"}),
+            )
+
+        programs = [
+            automaton_program(f"c{i}", stepper(f"X{i % 2}", 4))
+            for i in range(4)
+        ]
+        nest = KNest.from_paths({p.name: ("counters",) for p in programs})
+        for seed in range(4):
+            engine = Engine(
+                programs, {"X0": 0, "X1": 0},
+                MLADetectScheduler(nest), seed=seed,
+            )
+            result = engine.run()
+            report = check_correctability(
+                result.spec(nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+            # Two steppers share each entity; each adds exactly 4.
+            assert engine.store.value("X0") == 8
+            assert engine.store.value("X1") == 8
+
+    def test_serial_engine_run(self):
+        program = automaton_program("count", counter_automaton("X", 3))
+        engine = Engine([program], {"X": 0}, SerialScheduler())
+        result = engine.run()
+        assert result.metrics.commits == 1

@@ -1,0 +1,89 @@
+"""Tests for specification derivation and the compatibility condition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KNest
+from repro.errors import SpecificationError
+from repro.model import (
+    StepId,
+    System,
+    description_from_cut_levels,
+    spec_for_execution,
+    spec_for_run,
+    straight_line_program,
+    write,
+)
+from repro.model.programs import Breakpoint
+
+
+def sid(name, i):
+    return StepId(name, i)
+
+
+class TestDescriptionDerivation:
+    def test_basic(self):
+        steps = [sid("t", 0), sid("t", 1), sid("t", 2)]
+        desc = description_from_cut_levels(steps, {0: 2, 1: 3}, k=4)
+        assert desc.cuts(2) == frozenset({0})
+        assert desc.cuts(3) == frozenset({0, 1})
+
+    def test_out_of_range_gap_dropped(self):
+        steps = [sid("t", 0), sid("t", 1)]
+        desc = description_from_cut_levels(steps, {5: 2}, k=3)
+        assert desc.cuts(2) == frozenset()
+
+    def test_level_beyond_depth_dropped(self):
+        """A Breakpoint(4) under a 3-level nest is vacuous: no pair of
+        distinct transactions is related at level 4."""
+        steps = [sid("t", 0), sid("t", 1)]
+        desc = description_from_cut_levels(steps, {0: 4}, k=3)
+        assert desc.cuts(2) == frozenset()
+        assert desc.cuts(3) == frozenset({0})
+
+    def test_single_step(self):
+        desc = description_from_cut_levels([sid("t", 0)], {}, k=2)
+        assert len(desc) == 1
+
+
+class TestSpecForExecution:
+    def _run(self):
+        programs = [
+            straight_line_program("t", [write("X", 1), Breakpoint(2), write("Y", 1)]),
+            straight_line_program("u", [write("Z", 1)]),
+        ]
+        system = System(programs, {"X": 0, "Y": 0, "Z": 0})
+        return system.serial_run(["t", "u"])
+
+    def test_spec_for_run(self):
+        run = self._run()
+        nest = KNest.flat(["t", "u"])
+        spec = spec_for_run(run, nest.truncate(2))
+        assert spec.transactions == {"t", "u"}
+
+    def test_unknown_transaction_rejected(self):
+        run = self._run()
+        nest = KNest.flat(["t"])  # 'u' missing
+        with pytest.raises(SpecificationError, match="missing from the nest"):
+            spec_for_run(run, nest)
+
+    def test_empty_execution_rejected(self):
+        from repro.model import Execution
+
+        nest = KNest.flat(["t"])
+        with pytest.raises(SpecificationError, match="no steps"):
+            spec_for_execution(Execution([]), nest, {})
+
+    def test_partial_run_spec(self):
+        programs = [
+            straight_line_program("t", [write("X", 1), write("Y", 1)]),
+            straight_line_program("u", [write("Z", 1)]),
+        ]
+        system = System(programs, {"X": 0, "Y": 0, "Z": 0})
+        run = system.run(schedule=["t"], allow_partial=True)
+        nest = KNest.flat(["t", "u"])
+        spec = spec_for_run(run, nest)
+        # Only t took steps; the spec is restricted to it.
+        assert spec.transactions == {"t"}
+        assert len(spec.description("t")) == 1

@@ -1,0 +1,133 @@
+"""Tests for Section 7's nested action trees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import is_multilevel_atomic
+from repro.errors import NotCoherentError, SpecificationError
+from repro.model import spec_for_run
+from repro.nested import ActionNode, StepLeaf, encode_action_tree, verify_action_tree
+from repro.workloads import BankingConfig, BankingWorkload
+from repro.workloads.paper import banking_atomic_sequence, banking_spec
+
+
+@pytest.fixture(scope="module")
+def paper_banking():
+    data = banking_spec()
+    return data["spec"], banking_atomic_sequence()
+
+
+class TestEncoding:
+    def test_paper_banking_example_encodes(self, paper_banking):
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        assert tree.steps() == list(sequence)
+        assert tree.level == 1
+
+    def test_transfers_combine_into_one_level2_action(self, paper_banking):
+        """The Section 7 example: interleaving transfers are combined
+        into a single action; the audit is its own action."""
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        level2 = [c for c in tree.children if isinstance(c, ActionNode)]
+        owners_per_child = [
+            {spec.transaction_of(s) for s in child.steps()} for child in level2
+        ]
+        assert {"t1", "t2", "t3"} in owners_per_child
+        assert {"a"} in owners_per_child
+
+    def test_non_atomic_sequence_rejected(self, paper_banking):
+        spec, sequence = paper_banking
+        bad = [s for s in sequence if s != "a_1"]
+        bad.insert(bad.index("d31"), "a_1")
+        with pytest.raises(NotCoherentError):
+            encode_action_tree(spec, bad)
+
+    def test_mid_block_interleaving_rejected(self, paper_banking):
+        spec, _ = paper_banking
+        # w21 interrupts t1's withdrawal block (different families).
+        bad = [
+            "w11", "w21", "w12", "w22", "d21", "d22",
+            "w31", "w32", "d11", "d12", "d31", "d32",
+            "a_1", "a_2", "a_3",
+        ]
+        with pytest.raises(NotCoherentError):
+            encode_action_tree(spec, bad)
+
+    def test_levels_nest_properly(self, paper_banking):
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        for node in tree.nodes():
+            for child in node.children:
+                if isinstance(child, ActionNode):
+                    assert child.level == node.level + 1
+                else:
+                    assert node.level == spec.k
+
+    def test_render_mentions_steps(self, paper_banking):
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        rendered = tree.render()
+        assert "w11" in rendered and "a_1" in rendered
+
+
+class TestVerifier:
+    def test_wrong_leaf_order_rejected(self, paper_banking):
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        reversed_seq = list(reversed(sequence))
+        with pytest.raises(SpecificationError, match="order"):
+            verify_action_tree(tree, spec, reversed_seq)
+
+    def test_mixed_class_node_rejected(self, paper_banking):
+        spec, sequence = paper_banking
+        # Hand-build an illegal tree: the audit read inside a transfer
+        # node at level 2 (audit is level-1 related to transfers).
+        bad = ActionNode(1, [
+            ActionNode(2, [
+                ActionNode(3, [
+                    ActionNode(4, [StepLeaf(s) for s in sequence])
+                ])
+            ])
+        ])
+        with pytest.raises(SpecificationError):
+            verify_action_tree(bad, spec, sequence)
+
+    def test_empty_node_rejected(self, paper_banking):
+        spec, sequence = paper_banking
+        tree = encode_action_tree(spec, sequence)
+        tree.children.append(ActionNode(2, []))
+        with pytest.raises(SpecificationError, match="empty"):
+            verify_action_tree(tree, spec, tree.steps())
+
+
+# ---------------------------------------------------------------------------
+# property: encoding succeeds exactly on multilevel-atomic sequences
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=40, deadline=None)
+def test_encoding_agrees_with_atomicity_check(seed):
+    bank = BankingWorkload(
+        BankingConfig(families=2, transfers=3, bank_audits=1,
+                      creditor_audits=1, seed=13)
+    )
+    db = bank.application_database()
+    run = db.run(rng=random.Random(seed))
+    spec = spec_for_run(run, bank.nest)
+    sequence = run.execution.steps
+    atomic = is_multilevel_atomic(spec, sequence)
+    try:
+        tree = encode_action_tree(spec, sequence)
+        encoded = True
+    except NotCoherentError:
+        encoded = False
+    assert encoded == atomic
+    if encoded:
+        assert tree.steps() == sequence

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import SCHEDULERS, build_parser, main
+
+
+class TestParser:
+    def test_schedulers_listed(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in SCHEDULERS:
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    @pytest.mark.parametrize("scheduler", ["mla-detect", "2pl", "serial"])
+    def test_run_controlled(self, capsys, scheduler):
+        code = main([
+            "run", "--workload", "banking", "--scheduler", scheduler,
+            "--transfers", "4", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mla-correctable" in out
+        assert "invariants       ok" in out
+
+    def test_run_cad(self, capsys):
+        assert main([
+            "run", "--workload", "cad", "--scheduler", "mla-prevent",
+            "--transfers", "4",
+        ]) == 0
+
+    def test_run_fgl(self, capsys):
+        assert main([
+            "run", "--workload", "fgl", "--scheduler", "mla-detect",
+            "--transfers", "3",
+        ]) == 0
+
+
+class TestSweepAndAdmission:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "--transfers", "3", "--families", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler" in out
+        assert "mla-detect" in out
+
+    def test_admission_table(self, capsys):
+        assert main([
+            "admission", "--workload", "banking", "--transfers", "3",
+            "--families", "1", "--samples", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nest depth" in out

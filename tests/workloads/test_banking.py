@@ -1,0 +1,141 @@
+"""Tests for the banking workload generator and its invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_correctability
+from repro.engine import MLAPreventScheduler, Scheduler, SerialScheduler
+from repro.errors import SpecificationError
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+class TestGeneration:
+    def test_accounts_and_totals(self):
+        bank = BankingWorkload(BankingConfig(families=3, accounts_per_family=2))
+        assert len(bank.accounts) == 6
+        assert bank.grand_total == 600
+        assert bank.family_total(0) == 200
+
+    def test_nest_levels(self):
+        bank = BankingWorkload(
+            BankingConfig(families=2, transfers=4, bank_audits=1,
+                          creditor_audits=1, seed=3)
+        )
+        nest = bank.nest
+        transfers = list(bank.transfer_meta)
+        same_family = [
+            (a, b)
+            for a in transfers
+            for b in transfers
+            if a < b
+            and bank.transfer_meta[a]["src_family"]
+            == bank.transfer_meta[b]["src_family"]
+        ]
+        for a, b in same_family:
+            assert nest.level(a, b) == 3
+        assert nest.level(transfers[0], "audit0") == 1
+        assert nest.level(transfers[0], "creditor0") == 2
+
+    def test_generation_deterministic(self):
+        a = BankingWorkload(BankingConfig(seed=5))
+        b = BankingWorkload(BankingConfig(seed=5))
+        assert a.transfer_meta == b.transfer_meta
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SpecificationError):
+            BankingConfig(families=0)
+        with pytest.raises(SpecificationError):
+            BankingConfig(intra_family_ratio=2.0)
+
+    def test_interest_account_created(self):
+        bank = BankingWorkload(BankingConfig(interest_rate=0.01))
+        assert "BANK.INTEREST" in bank.accounts
+
+
+class TestSemantics:
+    def test_serial_run_conserves_money(self):
+        bank = BankingWorkload(BankingConfig(families=3, transfers=6, seed=2))
+        result = bank.engine(SerialScheduler(), seed=0).run()
+        final = {
+            entity: values[-1]
+            for entity, values in
+            result.execution.entity_value_sequences().items()
+        }
+        store = bank.engine(SerialScheduler(), seed=0)
+        total = sum(
+            final.get(account, bank.accounts[account])
+            for account in bank.accounts
+            if account != "BANK.INTEREST"
+        )
+        assert total == bank.grand_total
+
+    def test_conditional_withdrawal_stops_early(self):
+        """A transfer that can satisfy its amount from the first source
+        account must not touch the remaining sources (Section 4.3)."""
+        from repro.workloads.banking import transfer_program
+        from repro.model import System
+
+        program = transfer_program(
+            "t", ["A", "B", "C"], ["D"], amount=50, boundary_level=2
+        )
+        rich = System([program], {"A": 100, "B": 0, "C": 0, "D": 0})
+        run = rich.serial_run(["t"])
+        touched = {r.entity for r in run.execution.records}
+        assert touched == {"A", "D"}
+        poor = System([program], {"A": 10, "B": 10, "C": 10, "D": 0})
+        run = poor.serial_run(["t"])
+        touched = {r.entity for r in run.execution.records}
+        assert touched == {"A", "B", "C", "D"}
+        assert run.results["t"] == 30
+
+    def test_interest_credited(self):
+        bank = BankingWorkload(
+            BankingConfig(families=2, transfers=0, bank_audits=1,
+                          creditor_audits=0, interest_rate=0.05)
+        )
+        result = bank.engine(SerialScheduler(), seed=0).run()
+        expected = int(bank.grand_total * 0.05)
+        values = result.execution.entity_value_sequences()["BANK.INTEREST"]
+        assert values[-1] == expected
+
+    def test_invariants_hold_under_prevention(self):
+        bank = BankingWorkload(
+            BankingConfig(families=3, transfers=6, bank_audits=1,
+                          creditor_audits=2, intra_family_ratio=1.0, seed=4)
+        )
+        for seed in range(4):
+            result = bank.engine(MLAPreventScheduler(bank.nest), seed=seed).run()
+            assert bank.invariant_violations(result) == []
+            report = check_correctability(
+                result.spec(bank.nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+
+    def test_invariants_break_without_control(self):
+        bank = BankingWorkload(
+            BankingConfig(families=2, transfers=6, bank_audits=1,
+                          creditor_audits=2, intra_family_ratio=1.0, seed=4)
+        )
+        broken = 0
+        for seed in range(10):
+            result = bank.engine(Scheduler(), seed=seed).run()
+            if bank.invariant_violations(result):
+                broken += 1
+        assert broken > 0
+
+    def test_boundary_level_reflects_family_crossing(self):
+        bank = BankingWorkload(
+            BankingConfig(families=3, transfers=10, intra_family_ratio=0.5,
+                          seed=9)
+        )
+        db = bank.application_database()
+        run = db.serial_run()
+        spec = db.spec_for(run)
+        for name, meta in bank.transfer_meta.items():
+            desc = spec.description(name)
+            boundary_cuts_l2 = desc.cuts(2)
+            if meta["intra"]:
+                assert boundary_cuts_l2 == frozenset()
+            else:
+                assert len(boundary_cuts_l2) == 1

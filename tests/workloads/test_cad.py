@@ -1,0 +1,72 @@
+"""Tests for the CAD (Utopian Planning) workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_correctability
+from repro.engine import MLAPreventScheduler, Scheduler, SerialScheduler
+from repro.errors import SpecificationError
+from repro.workloads import CADConfig, CADWorkload
+
+
+class TestGeneration:
+    def test_entities_include_checksums(self):
+        cad = CADWorkload(CADConfig(specialties=2, items_per_specialty=3))
+        assert "S0.checksum" in cad.entities
+        assert cad.entities["S0.checksum"] == 30
+
+    def test_five_level_nest(self):
+        cad = CADWorkload(CADConfig(modifications=8, seed=1))
+        assert cad.nest.k == 5
+        mods = list(cad.modification_meta)
+        snap = cad.snapshot_names[0]
+        assert cad.nest.level(mods[0], snap) == 1
+        # Same specialty & team -> level 4; same specialty only -> 3;
+        # different specialties -> 2.
+        for a in mods:
+            for b in mods:
+                if a >= b:
+                    continue
+                sa, ta = cad.modification_meta[a]
+                sb, tb = cad.modification_meta[b]
+                expected = 2 if sa != sb else (4 if ta == tb else 3)
+                assert cad.nest.level(a, b) == expected, (a, b)
+
+    def test_bad_config(self):
+        with pytest.raises(SpecificationError):
+            CADConfig(specialties=0)
+
+
+class TestSemantics:
+    def test_serial_run_keeps_checksums(self):
+        cad = CADWorkload(CADConfig(seed=3, modifications=6))
+        result = cad.engine(SerialScheduler(), seed=0).run()
+        assert cad.invariant_violations(result) == []
+
+    def test_prevention_keeps_checksums_and_correctability(self):
+        cad = CADWorkload(CADConfig(seed=3, modifications=6, snapshots=2))
+        for seed in range(4):
+            result = cad.engine(MLAPreventScheduler(cad.nest), seed=seed).run()
+            assert cad.invariant_violations(result) == []
+            report = check_correctability(
+                result.spec(cad.nest), result.execution.dependency_edges()
+            )
+            assert report.correctable
+
+    def test_no_control_breaks_snapshots(self):
+        cad = CADWorkload(CADConfig(seed=3, modifications=8))
+        broken = 0
+        for seed in range(10):
+            result = cad.engine(Scheduler(), seed=seed).run()
+            if cad.invariant_violations(result):
+                broken += 1
+        assert broken > 0
+
+    def test_snapshot_report_shape(self):
+        cad = CADWorkload(CADConfig(specialties=2, modifications=0, snapshots=1))
+        result = cad.engine(SerialScheduler(), seed=0).run()
+        report = result.results["snap0"]
+        assert set(report) == {0, 1}
+        for checksum, total in report.values():
+            assert checksum == total

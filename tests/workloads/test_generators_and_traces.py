@@ -1,0 +1,106 @@
+"""Tests for random workload generation and admission-rate sampling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.workloads import (
+    BankingConfig,
+    BankingWorkload,
+    RandomWorkloadConfig,
+    admission_by_depth,
+    classify_sample,
+    random_dependency_pairs,
+    random_workload,
+)
+
+
+class TestRandomWorkload:
+    def test_generation_shape(self):
+        db = random_workload(RandomWorkloadConfig(transactions=5, seed=1))
+        assert len(db.system.transactions) == 5
+        assert db.nest.k == 4
+
+    def test_deterministic(self):
+        a = random_workload(RandomWorkloadConfig(seed=7)).serial_run()
+        b = random_workload(RandomWorkloadConfig(seed=7)).serial_run()
+        assert a.execution.steps == b.execution.steps
+
+    def test_runnable(self):
+        db = random_workload(RandomWorkloadConfig(seed=2))
+        run = db.run()
+        assert run.complete
+        assert db.classify(run) is not None
+
+    def test_bad_config(self):
+        with pytest.raises(SpecificationError):
+            RandomWorkloadConfig(transactions=0)
+        with pytest.raises(SpecificationError):
+            RandomWorkloadConfig(branching=(0,))
+
+
+class TestRandomDependencyPairs:
+    def test_shapes(self):
+        step_orders, pairs = random_dependency_pairs(4, 5, 3, seed=0)
+        assert len(step_orders) == 4
+        assert all(len(s) == 5 for s in step_orders.values())
+        steps = {s for order in step_orders.values() for s in order}
+        for a, b in pairs:
+            assert a in steps and b in steps
+
+    def test_deterministic(self):
+        assert random_dependency_pairs(3, 3, 2, seed=5) == random_dependency_pairs(3, 3, 2, seed=5)
+
+
+class TestAdmission:
+    @pytest.fixture(scope="class")
+    def intra_bank(self):
+        return BankingWorkload(
+            BankingConfig(families=1, transfers=3, bank_audits=0,
+                          creditor_audits=0, intra_family_ratio=1.0, seed=4)
+        )
+
+    def test_rates_monotone_in_depth(self, intra_bank):
+        db = intra_bank.application_database()
+        rows = admission_by_depth(db, samples=40, seed=1)
+        depths = [d for d, _, _ in rows]
+        assert depths == [2, 3, 4]
+        correctable = [c for _, _, c in rows]
+        assert correctable == sorted(correctable)
+
+    def test_depth_2_is_serializability(self, intra_bank):
+        """At depth 2 the truncated criterion equals classical
+        serializability for every sampled run."""
+        import random as random_module
+
+        from repro.analysis import is_conflict_serializable
+        from repro.model import spec_for_run
+        from repro.core import is_correctable
+
+        db = intra_bank.application_database()
+        rng = random_module.Random(3)
+        for _ in range(15):
+            run = db.run(rng=random_module.Random(rng.randrange(2**31)))
+            spec2 = spec_for_run(run, db.nest).truncate(2)
+            via_mla = is_correctable(
+                spec2, run.execution.dependency_edges()
+            )
+            classical = is_conflict_serializable(run.execution)
+            assert via_mla == classical
+
+    def test_stats_counts(self, intra_bank):
+        db = intra_bank.application_database()
+        stats = classify_sample(db, samples=10, seed=0)
+        for s in stats.values():
+            assert s.samples == 10
+            assert 0 <= s.atomic <= s.correctable <= 10
+            assert 0.0 <= s.atomic_rate <= s.correctable_rate <= 1.0
+
+    def test_same_family_admits_more_than_flat(self, intra_bank):
+        db = intra_bank.application_database()
+        rows = admission_by_depth(db, samples=60, seed=2)
+        by_depth = {d: c for d, _, c in rows}
+        assert by_depth[4] > by_depth[2]
