@@ -140,6 +140,15 @@ def test_e1_scaling_table():
             "quadratic densification of the closure beyond (the generating "
             "graph itself grows superlinearly) — comfortably inside a "
             "concurrency control's window sizes, which pruning keeps in "
-            "the tens of steps (E10)."
+            "the tens of steps (E10).  Before/after the incremental "
+            "reachability core (same machine, seed revision first): "
+            "accept 392.7 -> ~290 ms and reject 407.2 -> ~140 ms at 6400 "
+            "steps, with the generating edge set cut 60517 -> 49916; at "
+            "1600 steps accept 41.7 -> ~26 ms.  The residual accept cost "
+            "is the dense fixpoint itself (~100-word bitsets times ~50k "
+            "generated edges over 5 cascade rounds), which bounds "
+            "pure-Python gains well short of the 5x aspiration — the "
+            "on-line window path (E10), which is what the schedulers "
+            "actually sit on, gained 2-4x."
         ),
     )

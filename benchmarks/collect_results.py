@@ -6,15 +6,35 @@ EXPERIMENTS.md together with the paper-vs-measured commentary.
 
 Usage: ``python benchmarks/collect_results.py`` (after running
 ``pytest benchmarks/``).
+
+``python benchmarks/collect_results.py --quick`` instead runs a reduced
+smoke workload (E1 at <=400 steps, E10 at <=120 steps) against the seed
+baselines and writes ``BENCH_PR2.json`` at the repository root —
+correctness is asserted, timings are recorded with speedup factors.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import sys
+import time
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 RESULTS = os.path.join(HERE, "results")
 TARGET = os.path.join(HERE, os.pardir, "EXPERIMENTS.md")
+QUICK_TARGET = os.path.join(HERE, os.pardir, "BENCH_PR2.json")
+
+#: Seed-revision timings (ms) from benchmarks/results/*.md before the
+#: incremental reachability core landed, at the quick-mode sizes.
+SEED_BASELINES_MS = {
+    "e1_accept": {"100": 1.3, "400": 4.5},
+    "e1_reject": {"100": 0.9, "400": 4.5},
+    "e10_full": {"40": 20.0, "120": 170.0},
+    "e10_incremental": {"40": 20.0, "120": 194.0},
+    "e10_incremental+prune": {"40": 17.0, "120": 103.0},
+}
 
 ORDER = [
     "x_paper_examples",
@@ -70,7 +90,86 @@ Regenerate everything with::
 """
 
 
+def run_quick(
+    e1_sizes=(100, 400), e10_sizes=(40, 120)
+) -> dict:
+    """Run the reduced E1/E10 workloads, asserting correctness and
+    returning timings plus speedups against the seed baselines."""
+    for path in (HERE, os.path.join(HERE, os.pardir, "src")):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    import bench_e1_checker_scaling as e1
+    import bench_e10_closure_ablation as e10
+    from repro.core import check_correctability
+
+    timings: dict[str, dict[str, float]] = {
+        key: {} for key in SEED_BASELINES_MS
+    }
+    for n in e1_sizes:
+        spec, pairs = e1.accept_instance(n)
+        start = time.perf_counter()
+        report = check_correctability(spec, pairs)
+        timings["e1_accept"][str(n)] = (time.perf_counter() - start) * 1000
+        assert report.correctable, f"E1 accept instance rejected at n={n}"
+        spec_r, pairs_r = e1.reject_instance(n)
+        start = time.perf_counter()
+        report_r = check_correctability(spec_r, pairs_r)
+        timings["e1_reject"][str(n)] = (time.perf_counter() - start) * 1000
+        assert (
+            not report_r.correctable
+        ), f"E1 reject instance accepted at n={n}"
+    for n in e10_sizes:
+        for label, mode, pruning in e10.CONFIGS:
+            window = e10.make_window(mode, pruning, n)
+            seconds = e10.feed(window, n)
+            timings[f"e10_{label}"][str(n)] = seconds * 1000
+            assert window.closure_calls >= n, (
+                f"E10 {label} skipped closure checks at n={n}"
+            )
+    speedups = {
+        f"{key}_{size}": round(base / timings[key][size], 2)
+        for key, sizes in SEED_BASELINES_MS.items()
+        for size, base in sizes.items()
+        if size in timings[key] and timings[key][size] > 0
+    }
+    return {
+        "mode": "quick",
+        "workloads": {
+            "e1": "coherent-closure correctability, accept + reject "
+                  "instances (steps <= 400)",
+            "e10": "closure-window maintenance ablation "
+                   "(stream <= 120 steps)",
+        },
+        "timings_ms": {
+            key: {size: round(ms, 2) for size, ms in sizes.items()}
+            for key, sizes in timings.items()
+        },
+        "seed_baselines_ms": SEED_BASELINES_MS,
+        "speedup_vs_seed": speedups,
+    }
+
+
+def write_quick(path: str = QUICK_TARGET) -> dict:
+    data = run_quick()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the reduced smoke benchmarks and write BENCH_PR2.json",
+    )
+    if parser.parse_args().quick:
+        data = write_quick()
+        print(f"wrote {os.path.abspath(QUICK_TARGET)}")
+        for key, factor in sorted(data["speedup_vs_seed"].items()):
+            print(f"  {key}: {factor}x vs seed")
+        return
     sections = [HEADER]
     missing = []
     for name in ORDER:

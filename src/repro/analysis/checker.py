@@ -24,6 +24,7 @@ import networkx as nx
 from repro.core.atomicity import check_correctability, is_multilevel_atomic
 from repro.core.interleaving import InterleavingSpec
 from repro.core.nests import KNest
+from repro.core.reach import is_acyclic
 from repro.core.serializability import is_serial, serializability_spec
 from repro.errors import ReproError
 from repro.model.breakpoints import spec_for_execution
@@ -73,8 +74,17 @@ def serialization_graph(
 def is_conflict_serializable(
     execution: Execution, conflicts: str = "all"
 ) -> bool:
-    """Classical serializability: the serialization graph is acyclic."""
-    return nx.is_directed_acyclic_graph(serialization_graph(execution, conflicts))
+    """Classical serializability: the serialization graph is acyclic.
+
+    Runs Kahn's algorithm directly over the transaction-level edge set
+    (no graph object); :func:`serialization_graph` remains available for
+    plotting and inspection."""
+    edges = {
+        (a.transaction, b.transaction)
+        for a, b in execution.dependency_edges(conflicts)
+        if a.transaction != b.transaction
+    }
+    return is_acyclic(execution.transactions, edges)
 
 
 def classify_execution(

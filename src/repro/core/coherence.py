@@ -30,10 +30,15 @@ Two implementations are provided:
 * :func:`coherent_closure_pairs` — an exact pair-set fixpoint with
   incremental transitive closure.  Quadratic in the number of steps; use
   it for witness construction and small examples.
-* :func:`coherent_closure` — a scalable graph fixpoint that keeps only
-  *generating* edges and saturates rule (b) through bitset reachability.
-  Near-linear per iteration in practice; use it for checking large
-  schedules (experiment E1).
+* :func:`coherent_closure` — a scalable fixpoint over
+  :class:`ClosureEngine`, which keeps only *generating* edges and
+  maintains reachability **incrementally** (Italiano-style online edge
+  insertion over dense bitsets, see :mod:`repro.core.reach`) while a
+  dirty-segment worklist saturates rule (b).  Each inserted edge costs
+  O(affected) instead of a full reachability recomputation; use it for
+  checking large schedules (experiment E1) and for the on-line closure
+  window (:mod:`repro.engine.closure_window`), which keeps one engine
+  alive across performed steps.
 
 Because rule (b) fires on reachability and the chain ``a <_t segment_last``
 is always present, it suffices to propagate the single pair
@@ -45,12 +50,13 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from collections.abc import Hashable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TypeVar
 
 import networkx as nx
 
 from repro.core.interleaving import InterleavingSpec
+from repro.core.reach import ReachabilityIndex, iter_bits
 from repro.errors import NotAPartialOrderError
 
 S = TypeVar("S", bound=Hashable)
@@ -58,6 +64,7 @@ S = TypeVar("S", bound=Hashable)
 __all__ = [
     "Violation",
     "ClosureResult",
+    "ClosureEngine",
     "coherence_violations",
     "is_coherent",
     "coherent_closure_pairs",
@@ -81,7 +88,6 @@ class Violation:
     detail: tuple
 
 
-@dataclass
 class ClosureResult:
     """Outcome of a coherent-closure computation.
 
@@ -93,26 +99,83 @@ class ClosureResult:
     graph:
         The generating-edge digraph: chain edges of every ``<=_t``, the
         seed pairs, and all rule-(b) edges added during saturation.  Its
-        reachability relation is the coherent closure.
+        reachability relation is the coherent closure.  Built lazily from
+        the bitset index — the hot path never touches networkx.
     cycle:
         When cyclic, one witnessing cycle as a list of steps (closed:
         first == last); ``None`` otherwise.
+    index:
+        The :class:`~repro.core.reach.ReachabilityIndex` the closure was
+        computed in.  Results produced by a live
+        :class:`~repro.engine.closure_window.ClosureWindow` share the
+        window's persistent index, so ``graph``/``pairs`` reflect the
+        state at *access* time; batch results own their index.
     """
 
-    is_partial_order: bool
-    graph: nx.DiGraph
-    cycle: list | None = None
-    iterations: int = 0
-    edges_added: int = field(default=0)
+    __slots__ = (
+        "is_partial_order",
+        "cycle",
+        "iterations",
+        "edges_added",
+        "index",
+        "_graph",
+    )
+
+    def __init__(
+        self,
+        is_partial_order: bool,
+        cycle: list | None = None,
+        iterations: int = 0,
+        edges_added: int = 0,
+        index: ReachabilityIndex | None = None,
+        graph: nx.DiGraph | None = None,
+    ) -> None:
+        self.is_partial_order = is_partial_order
+        self.cycle = cycle
+        self.iterations = iterations
+        self.edges_added = edges_added
+        self.index = index
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        if self._graph is None:
+            graph: nx.DiGraph = nx.DiGraph()
+            if self.index is not None:
+                graph.add_nodes_from(self.index.nodes)
+                graph.add_edges_from(self.index.iter_edges())
+            self._graph = graph
+        return self._graph
 
     def pairs(self) -> set[tuple]:
-        """Materialise the closure as an explicit pair set (reachability
-        of the generating graph).  Quadratic; intended for small inputs."""
+        """Materialise the closure as an explicit pair set.
+
+        When acyclic this is a single bitset sweep over the reachability
+        index — output-linear, safe for large closures.  (Cyclic results
+        fall back to graph searches; they exist only to carry a witness.)
+        """
+        if self.index is not None and not self.index.cyclic:
+            return self.index.pairs()
         out: set[tuple] = set()
         for node in self.graph.nodes:
             for desc in nx.descendants(self.graph, node):
                 out.add((node, desc))
         return out
+
+    def ancestors(self, node) -> set:
+        """All steps that precede ``node`` in the closure (a bitset scan
+        when the reachability index is available)."""
+        if (
+            self.index is not None
+            and not self.index.cyclic
+            and node in self.index
+        ):
+            index = self.index
+            return {
+                index.node_of(i)
+                for i in iter_bits(index.ancestors_mask(node))
+            }
+        return set(nx.ancestors(self.graph, node))
 
     def require_partial_order(self) -> None:
         if not self.is_partial_order:
@@ -221,42 +284,477 @@ def coherent_closure_pairs(
 
 
 # ---------------------------------------------------------------------------
-# scalable closure (generating-edge graph fixpoint)
+# scalable closure (incremental bitset engine)
 # ---------------------------------------------------------------------------
 
 
-class _PartnerMasks:
-    """Per-(transaction, level) bitmasks of partner steps.
+class _Segment:
+    """One ``B_t(level)``-segment tracked by the engine.
 
-    ``partners(t, i)`` is the bitmask over step indices of every step
-    owned by a transaction ``t'`` with ``level(t, t') == i``; this is the
-    only filter rule (b) needs.  Computed from per-level class masks so
-    the cost is ``O(k * n)`` instead of ``O(|T|^2)``.
+    Only the dense ids of the *first* and current *last* member are kept.
+    The first member reaches every other member through the chain edges,
+    so ``reach[first]`` **is** the union of all members' descendant sets
+    whenever the index is exact — no per-segment union needs maintaining,
+    and the rule-(b) obligation is the single bitset expression
+    ``reach[first] & partners & ~reach[last]``.
     """
 
-    def __init__(self, spec: InterleavingSpec, bit_of: dict[S, int]) -> None:
-        self._spec = spec
-        self._bit_of = bit_of
-        self._class_masks: list[dict[int, int]] = []
-        nest = spec.nest
-        for level in range(1, nest.k + 1):
-            masks: dict[int, int] = defaultdict(int)
-            for txn in spec.transactions:
-                cid = nest.class_id(level, txn)
-                for step in spec.description(txn).elements:
-                    masks[cid] |= 1 << bit_of[step]
-            self._class_masks.append(dict(masks))
+    __slots__ = ("txn", "level", "first", "last", "dirty")
 
-    def partners(self, txn, level: int) -> int:
-        nest = self._spec.nest
-        same = self._class_masks[level - 1].get(nest.class_id(level, txn), 0)
-        if level + 1 <= nest.k:
-            closer = self._class_masks[level].get(
-                nest.class_id(level + 1, txn), 0
+    def __init__(self, txn, level: int, nid: int) -> None:
+        self.txn = txn
+        self.level = level
+        self.first = nid
+        self.last = nid
+        self.dirty = False
+
+    def copy(self) -> "_Segment":
+        seg = _Segment(self.txn, self.level, self.first)
+        seg.last = self.last
+        seg.dirty = self.dirty
+        return seg
+
+
+class ClosureEngine:
+    """Incrementally maintained coherent closure over a growing step set.
+
+    Steps arrive per transaction in order (:meth:`add_step`, carrying the
+    breakpoint level of the gap before them); seed edges arrive via
+    :meth:`add_edge`.  A :class:`~repro.core.reach.ReachabilityIndex`
+    keeps exact descendant bitsets under online edge insertion, and a
+    dirty-segment worklist applies rule (b): for a ``B_t(i)``-segment
+    with last step ``w``, every partner step reachable from the segment's
+    union but not from ``w`` gets the edge ``w -> b``.  Segment queries
+    are plain bitset subtractions, and only segments whose members'
+    reachability actually changed are revisited.
+
+    The engine is *monotone*: segments only extend at their open tail and
+    partner masks only grow, so every previously derived edge stays a
+    sound consequence as more steps arrive.  This is what lets the
+    on-line closure window keep one engine alive across performed steps
+    instead of re-saturating from scratch.  Once a cycle appears the
+    engine is terminal (:attr:`cycle` holds a closed witness path).
+    """
+
+    __slots__ = (
+        "nest",
+        "k",
+        "index",
+        "_cids",
+        "_class_masks",
+        "_segs",
+        "_open",
+        "_node_segs",
+        "_last_step",
+        "_pending",
+        "cycle",
+        "edges_added",
+        "iterations",
+    )
+
+    def __init__(self, nest) -> None:
+        self.nest = nest
+        self.k = nest.k
+        self.index = ReachabilityIndex()
+        self._cids: dict = {}
+        self._class_masks: list[dict[int, int]] = [
+            {} for _ in range(self.k)
+        ]
+        self._segs: list[_Segment] = []
+        self._open: dict = {}
+        self._node_segs: list[tuple[int, ...]] = []
+        self._last_step: dict = {}
+        self._pending: deque[int] = deque()
+        self.cycle: list | None = None
+        self.edges_added = 0
+        self.iterations = 0
+
+    @property
+    def cyclic(self) -> bool:
+        return self.cycle is not None
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+
+    def register(self, step: S) -> None:
+        """Pre-intern ``step`` so dense ids follow a caller-chosen order
+        (ids otherwise follow :meth:`add_step` arrival order)."""
+        nid = self.index.add_node(step)
+        while len(self._node_segs) <= nid:
+            self._node_segs.append(())
+
+    def add_step(
+        self,
+        txn,
+        step: S,
+        cut_level: int | None = None,
+        defer: bool = False,
+    ) -> None:
+        """Append ``step`` to ``txn``'s order.
+
+        ``cut_level`` is the minimum breakpoint level declared for the
+        gap *before* this step (``None`` for the first step or an uncut
+        gap): the step starts a new segment at every tracked level
+        ``>= cut_level`` and extends the open segment elsewhere.  The
+        same-transaction chain edge is added automatically.
+
+        With ``defer=True`` the chain edge goes in silently (adjacency
+        only); the caller must finish loading with :meth:`bootstrap`.
+        """
+        nid = self.index.add_node(step)
+        while len(self._node_segs) <= nid:
+            self._node_segs.append(())
+        bit = 1 << nid
+        cids = self._cids.get(txn)
+        if cids is None:
+            nest = self.nest
+            cids = tuple(
+                nest.class_id(level, txn) for level in range(1, self.k + 1)
             )
+            self._cids[txn] = cids
+        for level0, cid in enumerate(cids):
+            masks = self._class_masks[level0]
+            masks[cid] = masks.get(cid, 0) | bit
+        segs = self._segs
+        open_list = self._open.get(txn)
+        node_segs = []
+        if open_list is None:
+            open_list = []
+            for level0 in range(self.k - 1):
+                si = len(segs)
+                segs.append(_Segment(txn, level0 + 1, nid))
+                open_list.append(si)
+                node_segs.append(si)
+            self._open[txn] = open_list
+        else:
+            for level0 in range(self.k - 1):
+                if cut_level is not None and cut_level <= level0 + 1:
+                    si = len(segs)
+                    segs.append(_Segment(txn, level0 + 1, nid))
+                    open_list[level0] = si
+                    node_segs.append(si)
+                else:
+                    si = open_list[level0]
+                    seg = segs[si]
+                    seg.last = nid
+                    # The new last step reaches less than its
+                    # predecessors: foreign steps already ordered after
+                    # the segment may now be missing from reach[last].
+                    if not defer and not seg.dirty:
+                        seg.dirty = True
+                        self._pending.append(si)
+        self._node_segs[nid] = tuple(node_segs)
+        prev = self._last_step.get(txn)
+        self._last_step[txn] = step
+        if prev is not None:
+            if defer:
+                self.index.add_edge_silent_ids(self.index.id_of(prev), nid)
+            else:
+                self.add_edge(prev, step)
+
+    def load_transaction(
+        self,
+        txn,
+        steps: Sequence[S],
+        cuts: Sequence[int | None],
+    ) -> None:
+        """Batch-append a whole (fresh) transaction in one call, with
+        deferred chain edges; finish loading with :meth:`bootstrap`.
+
+        ``cuts[g]`` is the minimum breakpoint level declared for the gap
+        after step ``g`` (``None`` for an uncut gap) — the same meaning
+        ``cut_level`` has on :meth:`add_step` for the step following the
+        gap.  Equivalent to one deferred :meth:`add_step` per step, but
+        much cheaper: class masks get one union per level, segments are
+        built straight from the cut boundaries, and chain edges go
+        directly into the adjacency.
+        """
+        if not steps:
+            return
+        index = self.index
+        add_node = index.add_node
+        nids = [add_node(step) for step in steps]
+        node_segs = self._node_segs
+        while len(node_segs) < len(index):
+            node_segs.append(())
+        own = 0
+        for nid in nids:
+            own |= 1 << nid
+        cids = self._cids.get(txn)
+        if cids is None:
+            nest = self.nest
+            cids = tuple(
+                nest.class_id(level, txn) for level in range(1, self.k + 1)
+            )
+            self._cids[txn] = cids
+        for level0, cid in enumerate(cids):
+            masks = self._class_masks[level0]
+            masks[cid] = masks.get(cid, 0) | own
+        adj = index._adj
+        radj = index._radj
+        prev = nids[0]
+        for nid in nids[1:]:
+            adj[prev] |= 1 << nid
+            radj[nid] |= 1 << prev
+            prev = nid
+        index.edges += len(nids) - 1
+        segs = self._segs
+        created: dict[int, list[int]] = {}
+        open_list: list[int] = []
+        for level0 in range(self.k - 1):
+            level = level0 + 1
+            start = 0
+            for gap in range(len(nids) - 1):
+                cut = cuts[gap]
+                if cut is not None and cut <= level:
+                    si = len(segs)
+                    seg = _Segment(txn, level, nids[start])
+                    seg.last = nids[gap]
+                    segs.append(seg)
+                    created.setdefault(nids[start], []).append(si)
+                    start = gap + 1
+            si = len(segs)
+            seg = _Segment(txn, level, nids[start])
+            seg.last = nids[-1]
+            segs.append(seg)
+            created.setdefault(nids[start], []).append(si)
+            open_list.append(si)
+        for nid, sis in created.items():
+            node_segs[nid] = tuple(sis)
+        self._open[txn] = open_list
+        self._last_step[txn] = steps[-1]
+
+    def add_edge(self, u: S, v: S) -> bool:
+        """Insert a seed edge; ``False`` when it closes a cycle (the
+        witness step path lands in :attr:`cycle`)."""
+        if self.cycle is not None:
+            return False
+        ok, affected = self.index.add_edge(u, v)
+        if not ok:
+            nodes = self.index.nodes
+            self.cycle = [nodes[i] for i in self.index.cycle_ids or ()]
+            return False
+        if affected:
+            self._mark(affected)
+        return True
+
+    def add_edge_silent(self, u: S, v: S) -> None:
+        """Insert a seed edge without propagation (batch loading; pair
+        with :meth:`bootstrap`)."""
+        index = self.index
+        index.add_edge_silent_ids(index.id_of(u), index.id_of(v))
+
+    def bootstrap(self) -> bool:
+        """Finish a deferred batch load.  ``False`` on a cycle.
+
+        Saturation here is *round-based*, not worklist-based: each round
+        scans every segment against the current descendant bitsets, adds
+        all missing rule-(b) edges silently, then rebuilds reachability
+        with one reverse-topological sweep (O(n + m) big-int operations).
+        Per-edge ancestor propagation — the right trade-off for the
+        online window, where a call adds one step — is quadratic when
+        thousands of edges land at once; batching them against a
+        per-round snapshot costs a handful of sweeps instead.  On
+        success the engine is exact and saturated, so the online
+        incremental path can take over from it seamlessly."""
+        if self.cycle is not None:
+            return False
+        index = self.index
+        reach = index._reach
+        segs = self._segs
+        node_segs = self._node_segs
+        self._pending.clear()
+        if not index.recompute():
+            nodes = index.nodes
+            self.cycle = [nodes[i] for i in index.cycle_ids or ()]
+            return False
+        adj = index._adj
+        radj = index._radj
+        changed = index.last_changed
+        while True:
+            self.iterations += 1
+            # Only segments whose first member's reach changed can owe a
+            # new edge; one-member segments never do (first == last).
+            scan: list[int] = []
+            for nid in iter_bits(changed):
+                for si in node_segs[nid]:
+                    seg = segs[si]
+                    if seg.first != seg.last and not seg.dirty:
+                        seg.dirty = True
+                        scan.append(si)
+            # Process most-downstream segments first and fold the bits
+            # their new edges make reachable into a per-node ``boost``:
+            # upstream segments scanned later then subtract a fresher
+            # picture, so far fewer redundant edges (and rounds) are
+            # generated than against the round-start snapshot alone.
+            topo = index._topo or ()
+            rank = [0] * len(reach)
+            for pos, nid in enumerate(topo):
+                rank[nid] = pos
+            scan.sort(key=lambda si: rank[segs[si].last], reverse=True)
+            boost: dict[int, int] = {}
+            get_boost = boost.get
+            new_edges: list[tuple[int, int]] = []
+            for si in scan:
+                seg = segs[si]
+                seg.dirty = False
+                partner = self._partners(seg.txn, seg.level)
+                if not partner:
+                    continue
+                last = seg.last
+                missing = (
+                    (reach[seg.first] | get_boost(seg.first, 0))
+                    & partner
+                    & ~(reach[last] | get_boost(last, 0))
+                )
+                if not missing:
+                    continue
+                bit_last = 1 << last
+                acc = 0
+                while missing:
+                    low = missing & -missing
+                    target = low.bit_length() - 1
+                    if not adj[last] & low:
+                        adj[last] |= low
+                        radj[target] |= bit_last
+                        index.edges += 1
+                        new_edges.append((last, target))
+                        self.edges_added += 1
+                    # One edge covers everything reachable from its
+                    # target: skip that, keeping the generating graph
+                    # sparse.  (reach[target] holds target's own bit, so
+                    # this also clears ``low`` itself.)
+                    covered = reach[target] | get_boost(target, 0)
+                    acc |= covered
+                    missing &= ~covered
+                if acc:
+                    boost[last] = get_boost(last, 0) | acc
+            if not new_edges:
+                return True
+            # Dense rounds: one full reverse-topological sweep is cheaper
+            # than pushing each edge's delta up the predecessor graph.
+            if len(new_edges) >= len(index):
+                if index.recompute():
+                    changed = index.last_changed
+                    continue
+                repaired = None
+            else:
+                repaired = index.refresh(new_edges)
+            if repaired is None:
+                nodes = index.nodes
+                self.cycle = [nodes[i] for i in index.cycle_ids or ()]
+                return False
+            changed = repaired
+
+    def _mark(self, affected: list[int]) -> None:
+        """Queue the segments whose rule-(b) obligation may have grown:
+        those whose *first* member's descendant set just changed.  (A
+        one-member segment never owes an edge — its first is its last.)
+        """
+        segs = self._segs
+        node_segs = self._node_segs
+        pending = self._pending
+        for nid in affected:
+            for si in node_segs[nid]:
+                seg = segs[si]
+                if seg.first != seg.last and not seg.dirty:
+                    seg.dirty = True
+                    pending.append(si)
+
+    def _partners(self, txn, level: int) -> int:
+        """Bitmask of steps owned by transactions at exactly ``level``
+        from ``txn`` — the only filter rule (b) needs."""
+        cids = self._cids[txn]
+        same = self._class_masks[level - 1].get(cids[level - 1], 0)
+        if level < self.k:
+            closer = self._class_masks[level].get(cids[level], 0)
         else:
             closer = 0
         return same & ~closer
+
+    # ------------------------------------------------------------------
+    # saturation
+    # ------------------------------------------------------------------
+
+    def saturate(self) -> bool:
+        """Drain the dirty-segment worklist; ``False`` on a cycle.
+
+        Terminates unconditionally: a segment is re-queued only when some
+        member's descendant set grew, and bitsets grow at most ``n``
+        times each.
+        """
+        if self.cycle is not None:
+            return False
+        index = self.index
+        reach = index._reach
+        pending = self._pending
+        segs = self._segs
+        while pending:
+            si = pending.popleft()
+            seg = segs[si]
+            seg.dirty = False
+            self.iterations += 1
+            partner = self._partners(seg.txn, seg.level)
+            if not partner:
+                continue
+            missing = reach[seg.first] & partner & ~reach[seg.last]
+            while missing:
+                target = (missing & -missing).bit_length() - 1
+                ok, affected = index.add_edge_ids(seg.last, target)
+                if not ok:
+                    nodes = index.nodes
+                    self.cycle = [nodes[i] for i in index.cycle_ids or ()]
+                    pending.clear()
+                    return False
+                self.edges_added += 1
+                if affected:
+                    self._mark(affected)
+                missing = reach[seg.first] & partner & ~reach[seg.last]
+        return True
+
+    # ------------------------------------------------------------------
+    # queries / copying
+    # ------------------------------------------------------------------
+
+    def ancestors(self, step: S) -> set:
+        """All steps that precede ``step`` in the current closure."""
+        mask = self.index.ancestors_mask(step)
+        nodes = self.index.nodes
+        return {nodes[i] for i in iter_bits(mask)}
+
+    def last_step_of(self, txn) -> S | None:
+        return self._last_step.get(txn)
+
+    def result(self) -> ClosureResult:
+        """The current state as a :class:`ClosureResult` (shares the live
+        index; see the note there)."""
+        return ClosureResult(
+            self.cycle is None,
+            cycle=self.cycle,
+            iterations=self.iterations,
+            edges_added=self.edges_added,
+            index=self.index,
+        )
+
+    def clone(self) -> "ClosureEngine":
+        """An independent copy for what-if probing — O(n) pointer work,
+        since bitsets are immutable ints."""
+        other = ClosureEngine.__new__(ClosureEngine)
+        other.nest = self.nest
+        other.k = self.k
+        other.index = self.index.clone()
+        other._cids = dict(self._cids)
+        other._class_masks = [dict(m) for m in self._class_masks]
+        other._segs = [seg.copy() for seg in self._segs]
+        other._open = {t: list(v) for t, v in self._open.items()}
+        other._node_segs = list(self._node_segs)
+        other._last_step = dict(self._last_step)
+        other._pending = deque(self._pending)
+        other.cycle = list(self.cycle) if self.cycle else None
+        other.edges_added = self.edges_added
+        other.iterations = self.iterations
+        return other
 
 
 def coherent_closure(
@@ -264,85 +762,36 @@ def coherent_closure(
     seed: Iterable[tuple[S, S]],
     max_iterations: int = 10_000,
 ) -> ClosureResult:
-    """Compute the coherent closure of ``seed`` as a generating-edge graph.
+    """Compute the coherent closure of ``seed`` over ``spec``.
 
-    The fixpoint alternates (i) bitset reachability over the current graph
-    with (ii) segment saturation: for every ``B_t(i)``-segment ``S`` with
-    last step ``w`` and every partner step ``b`` (of a transaction at
-    level exactly ``i`` from ``t``) reachable from some step of ``S`` but
-    not from ``w``, add the edge ``w -> b``.  Reachability of the final
+    Steps are interned to dense ids (``repr``-sorted transactions, each
+    in chain order — deterministic witnesses), chain and seed edges
+    stream through the incremental reachability index, and saturation
+    applies rule
+    (b): for every ``B_t(i)``-segment with last step ``w`` and every
+    partner step ``b`` reachable from some step of the segment but not
+    from ``w``, add ``w -> b``.  Reachability of the final generating
     graph is exactly the transitive + rule-(b) closure.
 
-    Stops immediately (with a witness) once a cycle appears — by Theorem 2
-    the seed execution is then not correctable, and further saturation
-    cannot remove a cycle.
+    Stops immediately (with a witness) once a cycle appears — by Theorem
+    2 the seed execution is then not correctable, and further saturation
+    cannot remove a cycle.  ``max_iterations`` is retained for API
+    compatibility; the worklist engine terminates unconditionally.
     """
-    steps = sorted(spec.steps, key=repr)
-    bit_of = {step: i for i, step in enumerate(steps)}
-    masks_by_pair = _PartnerMasks(spec, bit_of)
-
-    graph: nx.DiGraph = nx.DiGraph()
-    graph.add_nodes_from(steps)
-    graph.add_edges_from(spec.chain_pairs())
-    graph.add_edges_from(seed)
-
-    iterations = 0
-    edges_added = 0
-    while True:
-        iterations += 1
-        if iterations > max_iterations:  # pragma: no cover - safety valve
-            raise NotAPartialOrderError("closure fixpoint failed to converge")
-        try:
-            topo = list(nx.topological_sort(graph))
-        except nx.NetworkXUnfeasible:
-            cycle_edges = nx.find_cycle(graph)
-            cycle = [u for u, _ in cycle_edges] + [cycle_edges[0][0]]
-            return ClosureResult(
-                is_partial_order=False,
-                graph=graph,
-                cycle=cycle,
-                iterations=iterations,
-                edges_added=edges_added,
-            )
-        reach: dict[S, int] = {}
-        for node in reversed(topo):
-            mask = 1 << bit_of[node]
-            for succ in graph.successors(node):
-                mask |= reach[succ]
-            reach[node] = mask
-
-        changed = False
-        for txn in spec.transactions:
-            desc = spec.description(txn)
-            for level in range(1, spec.k):
-                partner_mask = masks_by_pair.partners(txn, level)
-                if not partner_mask:
-                    continue
-                for segment in desc.segments(level):
-                    last = segment[-1]
-                    union = 0
-                    for step in segment:
-                        union |= reach[step]
-                    missing = union & partner_mask & ~reach[last]
-                    while missing:
-                        low = missing & -missing
-                        target = steps[low.bit_length() - 1]
-                        graph.add_edge(last, target)
-                        edges_added += 1
-                        changed = True
-                        missing ^= low
-                        # One edge covers everything reachable from its
-                        # target (at this pass's snapshot): skip those to
-                        # keep the generating graph sparse.
-                        missing &= ~reach[target]
-        if not changed:
-            return ClosureResult(
-                is_partial_order=True,
-                graph=graph,
-                cycle=None,
-                iterations=iterations,
-                edges_added=edges_added,
-            )
+    del max_iterations
+    engine = ClosureEngine(spec.nest)
+    for txn in sorted(spec.transactions, key=repr):
+        desc = spec.description(txn)
+        elems = desc.elements
+        engine.load_transaction(
+            txn,
+            elems,
+            [desc.min_cut_level(g) for g in range(len(elems) - 1)],
+        )
+    for u, v in seed:
+        engine.add_edge_silent(u, v)
+    engine.bootstrap()
+    return engine.result()
 
 
 # ---------------------------------------------------------------------------

@@ -16,13 +16,22 @@ prefix boundary (their eventual last step is unknown — exactly why a
 later step of the same segment can retroactively precede an already
 performed foreign step, which is where cycles come from).
 
-Closure computation reuses :func:`repro.core.coherence.coherent_closure`
-on the prefix specification.  Two maintenance modes (ablated by
-experiment E10):
+Two maintenance modes (ablated by experiment E10):
 
-* ``"full"`` — recompute from the base dependency edges every time;
-* ``"incremental"`` — seed each recomputation with the edge set derived
-  last time.  Sound because closures only grow as the prefix grows.
+* ``"full"`` — recompute the closure from the base dependency edges on
+  every call, via batch :func:`repro.core.coherence.coherent_closure`;
+* ``"incremental"`` — keep one live
+  :class:`~repro.core.coherence.ClosureEngine` across calls.  Each
+  observed step costs one ``add_step`` plus the entity edges it
+  introduces, each propagated in O(affected) by the bitset reachability
+  index; nothing is recomputed.  Sound because the prefix only grows at
+  segment tails, so every previously derived closure edge remains a
+  consequence of the larger prefix.  The engine is torn down (and lazily
+  rebuilt from the surviving steps) whenever monotonicity breaks: on
+  ``drop`` (abort), ``truncate`` (partial rollback), ``_prune``, on a
+  cyclic verdict, and when a transaction rewrites an interior breakpoint
+  declaration.  Hypothetical queries run on a clone of the engine —
+  cheap, since bitsets are immutable ints — and never disturb it.
 
 Committed transactions whose lifetime no longer overlaps any active
 attempt are pruned; reachability through pruned steps is preserved by
@@ -37,10 +46,11 @@ kept."""
 from __future__ import annotations
 
 from collections.abc import Mapping
+from time import perf_counter
 
 import networkx as nx
 
-from repro.core.coherence import ClosureResult, coherent_closure
+from repro.core.coherence import ClosureEngine, ClosureResult, coherent_closure
 from repro.core.interleaving import InterleavingSpec
 from repro.core.nests import KNest
 from repro.core.segmentation import BreakpointDescription
@@ -48,6 +58,76 @@ from repro.errors import EngineError
 from repro.model.steps import StepId, StepKind
 
 __all__ = ["ClosureWindow"]
+
+
+class _EntityFold:
+    """Streaming derivation of entity dependency edges.
+
+    Feeding the performed order step by step yields exactly the edges
+    :class:`ClosureWindow` seeds the closure with: under ``"all"`` each
+    access depends on the entity's previous access; under ``"rw"`` reads
+    depend on the last write and writes on the last write plus the reads
+    since it.
+    """
+
+    __slots__ = ("conflicts", "_last", "_last_write", "_reads_since")
+
+    def __init__(self, conflicts: str) -> None:
+        self.conflicts = conflicts
+        self._last: dict[str, StepId] = {}
+        self._last_write: dict[str, StepId] = {}
+        self._reads_since: dict[str, list[StepId]] = {}
+
+    def feed(
+        self, step: StepId, entity: str, kind: StepKind
+    ) -> list[tuple[StepId, StepId]]:
+        edges: list[tuple[StepId, StepId]] = []
+        if self.conflicts == "all":
+            prev = self._last.get(entity)
+            if prev is not None:
+                edges.append((prev, step))
+        elif kind is StepKind.READ:
+            write = self._last_write.get(entity)
+            if write is not None:
+                edges.append((write, step))
+            self._reads_since.setdefault(entity, []).append(step)
+        else:
+            write = self._last_write.get(entity)
+            if write is not None:
+                edges.append((write, step))
+            edges.extend(
+                (reader, step)
+                for reader in self._reads_since.get(entity, [])
+                if reader != step
+            )
+            self._last_write[entity] = step
+            self._reads_since[entity] = []
+        self._last[entity] = step
+        return edges
+
+    def copy(self) -> "_EntityFold":
+        other = _EntityFold.__new__(_EntityFold)
+        other.conflicts = self.conflicts
+        other._last = dict(self._last)
+        other._last_write = dict(self._last_write)
+        other._reads_since = {
+            e: list(r) for e, r in self._reads_since.items()
+        }
+        return other
+
+
+class _LiveState:
+    """The incremental mode's persistent state: a saturated closure
+    engine plus the entity-edge fold matching the order it has seen."""
+
+    __slots__ = ("engine", "fold")
+
+    def __init__(self, engine: ClosureEngine, fold: _EntityFold) -> None:
+        self.engine = engine
+        self.fold = fold
+
+    def clone(self) -> "_LiveState":
+        return _LiveState(self.engine.clone(), self.fold.copy())
 
 
 class ClosureWindow:
@@ -75,10 +155,14 @@ class ClosureWindow:
         self._order: list[StepId] = []
         self._committed: set[str] = set()
         self._shortcut_edges: set[tuple[StepId, StepId]] = set()
-        self._carry_edges: set[tuple[StepId, StepId]] = set()
         self._commits_since_prune = 0
+        self._live: _LiveState | None = None
+        self._last_result: ClosureResult | None = None
         self.closure_calls = 0
         self.edges_last = 0
+        self.closure_seconds = 0.0
+        self.closure_edges_propagated = 0
+        self.closure_word_ops = 0
 
     # ------------------------------------------------------------------
     # window contents
@@ -124,39 +208,115 @@ class ClosureWindow:
         return InterleavingSpec(self.nest.restrict(steps), descriptions)
 
     def _entity_edges(self, order) -> list[tuple[StepId, StepId]]:
+        fold = _EntityFold(self.conflicts)
         edges: list[tuple[StepId, StepId]] = []
-        last: dict[str, StepId] = {}
-        last_write: dict[str, StepId] = {}
-        reads_since: dict[str, list[StepId]] = {}
         for step in order:
             entity, kind = self._access_of[step]
-            if self.conflicts == "all":
-                if entity in last:
-                    edges.append((last[entity], step))
-            elif kind is StepKind.READ:
-                if entity in last_write:
-                    edges.append((last_write[entity], step))
-                reads_since.setdefault(entity, []).append(step)
-            else:
-                if entity in last_write:
-                    edges.append((last_write[entity], step))
-                edges.extend(
-                    (reader, step)
-                    for reader in reads_since.get(entity, [])
-                    if reader != step
-                )
-                last_write[entity] = step
-                reads_since[entity] = []
-            last[entity] = step
+            edges.extend(fold.feed(step, entity, kind))
         return edges
+
+    def _cut_before(self, name: str, pos: int) -> int | None:
+        """Effective breakpoint level of the gap before position ``pos``
+        of ``name``'s attempt (``None`` when uncut or out of depth)."""
+        if pos <= 0:
+            return None
+        lv = self._cuts.get(name, {}).get(pos - 1)
+        if lv is None or lv > self.k:
+            return None
+        return lv
+
+    def _cuts_changed(
+        self, name: str, new_cuts: Mapping[int, int]
+    ) -> bool:
+        """Whether ``new_cuts`` rewrites an *interior* gap declaration.
+
+        The newest gap (before the incoming step) may be declared freely
+        — it has never been consumed; any other difference breaks the
+        monotone-growth assumption of the live engine."""
+        old = self._cuts.get(name, {})
+        newest = len(self._steps.get(name, [])) - 1
+        k = self.k
+        for gap in set(old) | set(new_cuts):
+            if gap >= newest:
+                continue
+            ov = old.get(gap)
+            nv = new_cuts.get(gap)
+            if (ov if ov is not None and ov <= k else None) != (
+                nv if nv is not None and nv <= k else None
+            ):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # closure
     # ------------------------------------------------------------------
 
+    def _rebuild_live(self) -> _LiveState:
+        """Batch-load the current window contents into a fresh engine.
+
+        Transactions are loaded whole (chain edges and segments built in
+        one pass), entity and shortcut edges are inserted silently, and a
+        single :meth:`~repro.core.coherence.ClosureEngine.bootstrap`
+        saturates everything — much cheaper than replaying the performed
+        order step by step with online propagation.  The engine stays
+        usable for subsequent online updates afterwards."""
+        engine = ClosureEngine(self.nest)
+        for name, steps in self._steps.items():
+            if steps:
+                engine.load_transaction(
+                    name,
+                    steps,
+                    [
+                        self._cut_before(name, p)
+                        for p in range(1, len(steps))
+                    ],
+                )
+        fold = _EntityFold(self.conflicts)
+        for step in self._order:
+            entity, kind = self._access_of[step]
+            for u, v in fold.feed(step, entity, kind):
+                engine.add_edge_silent(u, v)
+        for u, v in self._shortcut_edges:
+            engine.add_edge_silent(u, v)
+        engine.bootstrap()
+        return _LiveState(engine, fold)
+
+    def _result_of(
+        self, engine: ClosureEngine, edges_added_before: int = 0
+    ) -> ClosureResult:
+        """Wrap the engine state; ``edges_added`` is reported per call
+        (delta against the persistent engine's running total), so the
+        schedulers' metric accumulation stays correct."""
+        return ClosureResult(
+            engine.cycle is None,
+            cycle=engine.cycle,
+            iterations=engine.iterations,
+            edges_added=engine.edges_added - edges_added_before,
+            index=engine.index,
+        )
+
+    def _recompute(self) -> ClosureResult:
+        """Rebuild the live engine from scratch and cache its verdict."""
+        t0 = perf_counter()
+        live = self._rebuild_live()
+        engine = live.engine
+        index = engine.index
+        self.closure_calls += 1
+        self.closure_seconds += perf_counter() - t0
+        self.closure_edges_propagated += index.edges_propagated
+        self.closure_word_ops += index.word_ops
+        self.edges_last = index.edges
+        result = self._result_of(engine)
+        self._live = None if engine.cyclic else live
+        self._last_result = result
+        return result
+
     def _closure(
         self, extra: tuple[str, StepId, str, StepKind] | None = None
     ) -> ClosureResult | None:
+        if self.mode == "incremental":
+            return self._closure_incremental(extra)
+        t0 = perf_counter()
         order = list(self._order)
         extra_key = None
         if extra is not None:
@@ -170,26 +330,102 @@ class ClosureWindow:
                 del self._access_of[extra[1]]
             return None
         seed = set(self._entity_edges(order)) | self._shortcut_edges
-        if self.mode == "incremental":
-            seed |= self._carry_edges
         result = coherent_closure(spec, seed)
+        index = result.index
+        assert index is not None
         self.closure_calls += 1
-        self.edges_last = result.graph.number_of_edges()
+        self.closure_seconds += perf_counter() - t0
+        self.closure_edges_propagated += index.edges_propagated
+        self.closure_word_ops += index.word_ops
+        self.edges_last = index.edges
         if extra is not None:
             del self._access_of[extra[1]]
-        elif self.mode == "incremental" and result.is_partial_order:
-            self._carry_edges = set(result.graph.edges)
         return result
+
+    def _closure_incremental(
+        self, extra: tuple[str, StepId, str, StepKind] | None
+    ) -> ClosureResult | None:
+        if extra is None:
+            if not self._order:
+                return None
+            if self._last_result is not None:
+                return self._last_result
+            return self._recompute()
+        if self._live is None:
+            base = self._recompute()
+            if not base.is_partial_order:
+                # A hypothetical step cannot un-close an existing cycle.
+                return base
+        assert self._live is not None
+        name, step, entity, kind = extra
+        base_index = self._live.engine.index
+        t0 = perf_counter()
+        ep0 = base_index.edges_propagated
+        wo0 = base_index.word_ops
+        ea0 = self._live.engine.edges_added
+        probe = self._live.clone()
+        engine = probe.engine
+        engine.add_step(
+            name, step, self._cut_before(name, len(self._steps.get(name, ())))
+        )
+        if not engine.cyclic:
+            for u, v in probe.fold.feed(step, entity, kind):
+                if not engine.add_edge(u, v):
+                    break
+            engine.saturate()
+        index = engine.index
+        self.closure_calls += 1
+        self.closure_seconds += perf_counter() - t0
+        self.closure_edges_propagated += index.edges_propagated - ep0
+        self.closure_word_ops += index.word_ops - wo0
+        return self._result_of(engine, ea0)
 
     def observe(self, name: str, step: StepId, entity: str,
                 kind: StepKind, cut_levels: Mapping[int, int]) -> ClosureResult:
         """Record a performed step and return the closure state."""
+        if (
+            self.mode == "incremental"
+            and self._live is not None
+            and self._cuts_changed(name, cut_levels)
+        ):
+            self._live = None
         self._steps.setdefault(name, []).append(step)
         self._cuts[name] = dict(cut_levels)
         self._access_of[step] = (entity, kind)
         self._order.append(step)
-        result = self._closure()
-        assert result is not None
+        if self.mode == "full":
+            result = self._closure()
+            assert result is not None
+            return result
+        self._last_result = None
+        live = self._live
+        if live is None:
+            return self._recompute()
+        engine = live.engine
+        index = engine.index
+        t0 = perf_counter()
+        ep0 = index.edges_propagated
+        wo0 = index.word_ops
+        ea0 = engine.edges_added
+        engine.add_step(
+            name, step, self._cut_before(name, len(self._steps[name]) - 1)
+        )
+        for u, v in live.fold.feed(step, entity, kind):
+            if not engine.add_edge(u, v):
+                break
+        engine.saturate()
+        self.closure_calls += 1
+        self.closure_seconds += perf_counter() - t0
+        self.closure_edges_propagated += index.edges_propagated - ep0
+        self.closure_word_ops += index.word_ops - wo0
+        self.edges_last = index.edges
+        result = self._result_of(engine, ea0)
+        self._last_result = result
+        if engine.cyclic:
+            # Terminal: the engine stops maintaining reachability after a
+            # cycle.  The scheduler will roll something back, which
+            # invalidates anyway; rebuild lazily from whatever survives.
+            self._live = None
         return result
 
     def hypothetical(
@@ -207,7 +443,16 @@ class ClosureWindow:
         if not result.is_partial_order:
             owners = {s.transaction for s in result.cycle or ()}
             return False, set(), owners
-        return True, set(nx.ancestors(result.graph, step)), set()
+        return True, result.ancestors(step), set()
+
+    def sync_metrics(self, metrics) -> None:
+        """Publish the window's cumulative closure-cost counters into an
+        engine :class:`~repro.engine.metrics.Metrics` object (the window
+        lives one-to-one with a scheduler run, so plain assignment is the
+        correct accumulation)."""
+        metrics.closure_seconds = self.closure_seconds
+        metrics.closure_edges_propagated = self.closure_edges_propagated
+        metrics.closure_word_ops = self.closure_word_ops
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -232,7 +477,7 @@ class ClosureWindow:
         self._order = [s for s in self._order if s not in gone]
         for step in gone:
             self._access_of.pop(step, None)
-        self._carry_edges = set()
+        self._invalidate()
         self._shortcut_edges = {
             (u, v)
             for u, v in self._shortcut_edges
@@ -240,20 +485,24 @@ class ClosureWindow:
         }
 
     def drop(self, name: str) -> None:
-        """Remove an aborted attempt's steps and rebuild carried edges."""
+        """Remove an aborted attempt's steps and rebuild derived state."""
         gone = set(self._steps.pop(name, []))
         self._cuts.pop(name, None)
         self._order = [s for s in self._order if s not in gone]
         for step in gone:
             self._access_of.pop(step, None)
         # Derived edges may have been justified through the dropped steps;
-        # start the carry from scratch (shortcuts are kept, see module doc).
-        self._carry_edges = set()
+        # rebuild from scratch (shortcuts are kept, see module doc).
+        self._invalidate()
         self._shortcut_edges = {
             (u, v)
             for u, v in self._shortcut_edges
             if u not in gone and v not in gone
         }
+
+    def _invalidate(self) -> None:
+        self._live = None
+        self._last_result = None
 
     def mark_committed(self, name: str) -> None:
         self._committed.add(name)
@@ -317,7 +566,7 @@ class ClosureWindow:
                 for u, v in self._shortcut_edges
                 if u in committed_steps and v in committed_steps
             }
-            graph = coherent_closure(spec, base).graph.copy()
+            graph = coherent_closure(spec, base).graph
         for name in prunable:
             for step in self._steps[name]:
                 preds = list(graph.predecessors(step))
@@ -339,4 +588,4 @@ class ClosureWindow:
             for u, v in graph.edges
             if u in remaining and v in remaining
         }
-        self._carry_edges = set(self._shortcut_edges)
+        self._invalidate()

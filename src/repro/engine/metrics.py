@@ -37,6 +37,8 @@ class Metrics:
     closure_edges_added: int = 0
     closure_checks: int = 0
     closure_seconds: float = 0.0
+    closure_edges_propagated: int = 0
+    closure_word_ops: int = 0
     commit_waits: int = 0
     latency_total: int = 0
     latency_max: int = 0
@@ -84,4 +86,9 @@ class Metrics:
             "throughput": round(self.throughput, 4),
             "mean_latency": round(self.mean_latency, 2),
             "abort_rate": round(self.abort_rate, 4) if self.commits else 0.0,
+            "closure_checks": self.closure_checks,
+            "closure_edges_added": self.closure_edges_added,
+            "closure_seconds": round(self.closure_seconds, 6),
+            "closure_edges_propagated": self.closure_edges_propagated,
+            "closure_word_ops": self.closure_word_ops,
         }

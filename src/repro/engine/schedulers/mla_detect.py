@@ -76,6 +76,7 @@ class MLADetectScheduler(Scheduler):
         assert self.engine is not None
         self.engine.metrics.closure_checks += 1
         self.engine.metrics.closure_edges_added += result.edges_added
+        self.window.sync_metrics(self.engine.metrics)
         if result.is_partial_order:
             return None
         self.engine.metrics.cycles_detected += 1

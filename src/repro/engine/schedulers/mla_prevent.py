@@ -161,6 +161,7 @@ class MLAPreventScheduler(Scheduler):
             txn.live.cut_levels,
         )
         self.engine.metrics.closure_edges_added += result.edges_added
+        self.window.sync_metrics(self.engine.metrics)
         if not result.is_partial_order:
             # Prevention should make this unreachable; treat it as a
             # detected cycle and recover rather than corrupt the run.

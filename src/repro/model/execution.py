@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.core.reach import transitive_pairs
 from repro.errors import ExecutionError
 from repro.model.steps import StepId, StepKind, StepRecord
 
@@ -141,13 +142,14 @@ class Execution:
 
     def dependency_pairs(self, conflicts: str = "all") -> set[tuple[StepId, StepId]]:
         """The full dependency partial order as explicit pairs
-        (transitive closure of the generating edges).  Quadratic."""
-        graph = self.dependency_graph(conflicts)
-        return {
-            (a, b)
-            for a in graph.nodes
-            for b in nx.descendants(graph, a)
-        }
+        (transitive closure of the generating edges).
+
+        The generating edges all point forward along the performed
+        order, so one reverse bitset sweep suffices — output-linear,
+        no graph object, no per-node searches."""
+        return transitive_pairs(
+            self.steps, self.dependency_edges(conflicts)
+        )
 
     def equivalent(self, other: "Execution", conflicts: str = "all") -> bool:
         """Section 3.1 equivalence: identical dependency orders (which

@@ -1,0 +1,39 @@
+"""Smoke wiring for the quick benchmark collection.
+
+Runs ``benchmarks/collect_results.py --quick``'s reduced E1/E10 workload
+as part of the test suite and writes ``BENCH_PR2.json`` at the repo
+root.  Correctness (verdicts, closure activity) is *asserted* inside the
+runner; timing regressions against the seed baselines only *warn* — CI
+machines are too noisy for hard timing gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import warnings
+
+BENCHMARKS = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "benchmarks"
+)
+if BENCHMARKS not in sys.path:
+    sys.path.insert(0, BENCHMARKS)
+
+import collect_results  # noqa: E402
+
+
+def test_quick_bench_smoke():
+    data = collect_results.write_quick()
+    assert os.path.exists(collect_results.QUICK_TARGET)
+    with open(collect_results.QUICK_TARGET, encoding="utf-8") as handle:
+        assert json.load(handle) == data
+    assert data["timings_ms"]["e1_accept"]
+    assert data["timings_ms"]["e10_incremental+prune"]
+    for key, factor in data["speedup_vs_seed"].items():
+        if factor < 1.0:
+            warnings.warn(
+                f"quick benchmark {key} ran {1 / factor:.1f}x slower "
+                "than the seed baseline (timing-only, not a failure)",
+                stacklevel=1,
+            )
