@@ -8,9 +8,10 @@ Usage: ``python benchmarks/collect_results.py`` (after running
 ``pytest benchmarks/``).
 
 ``python benchmarks/collect_results.py --quick`` instead runs a reduced
-smoke workload (E1 at <=400 steps, E10 at <=120 steps) against the seed
-baselines and writes ``BENCH_PR2.json`` at the repository root —
-correctness is asserted, timings are recorded with speedup factors.
+smoke workload (E1 at <=400 steps, E10 at <=120 steps, plus the E14
+distributed fault smoke) against the seed baselines and writes
+``BENCH_PR2.json`` at the repository root — correctness is asserted,
+timings are recorded with speedup factors.
 """
 
 from __future__ import annotations
@@ -52,6 +53,7 @@ ORDER = [
     "e11_fgl_audit",
     "e12_recovery_unit",
     "e13_nested_locking",
+    "e14_fault_sweep",
 ]
 
 HEADER = """# EXPERIMENTS — measured results
@@ -85,6 +87,7 @@ Regenerate everything with::
 | [FGL] non-blocking audit (§2) | exact totals while riding level-2 breakpoints | zero errors in both styles; fewer aborts for FGL (E11) | holds |
 | Intermediate recovery unit (§1) | — (paper only cautions) | segment recovery preserves steps but re-enters conflicts: a quantified *negative* result matching the caution (E12) | informative |
 | Nested-transaction implementation efficiency (§7, open) | — (open question) | breakpoint-released locking matches prevention at lock-table cost; provably incomplete (counterexample); certified hybrid sound (E13) | answered |
+| Migrating transactions on a *real* (faulty) network (§6, implicit) | — (§6 assumes perfect delivery) | at-least-once protocol masks 20% drop/dup/reorder plus node crashes: 100% checker acceptance, committed results bitwise equal to the fault-free run (E14) | extended |
 
 ---
 """
@@ -100,6 +103,7 @@ def run_quick(
             sys.path.insert(0, path)
     import bench_e1_checker_scaling as e1
     import bench_e10_closure_ablation as e10
+    import bench_e14_fault_sweep as e14
     from repro.core import check_correctability
 
     timings: dict[str, dict[str, float]] = {
@@ -126,6 +130,25 @@ def run_quick(
             assert window.closure_calls >= n, (
                 f"E10 {label} skipped closure checks at n={n}"
             )
+    # E14 smoke: one faulty run per control (10% drop/dup/reorder plus a
+    # node crash); the faulty committed results must equal the zero-fault
+    # run's — the fault layer may cost time, never outcomes.
+    timings["e14_fault_smoke"] = {}
+    for label, programs, accounts, _nest, factory, _bank in e14.cases():
+        base = e14.run_once(programs, accounts, factory())
+        start = time.perf_counter()
+        faulty = e14.run_once(
+            programs, accounts, factory(), faults=e14.fault_plan(0.1, 0)
+        )
+        timings["e14_fault_smoke"][label] = (
+            time.perf_counter() - start
+        ) * 1000
+        assert faulty.commits == len(programs), (
+            f"E14 smoke lost commits under faults ({label})"
+        )
+        assert faulty.results == base.results, (
+            f"E14 smoke results diverged under faults ({label})"
+        )
     speedups = {
         f"{key}_{size}": round(base / timings[key][size], 2)
         for key, sizes in SEED_BASELINES_MS.items()
@@ -139,6 +162,8 @@ def run_quick(
                   "instances (steps <= 400)",
             "e10": "closure-window maintenance ablation "
                    "(stream <= 120 steps)",
+            "e14": "distributed fault smoke (10% drop/dup/reorder + one "
+                   "node crash per control, results vs fault-free)",
         },
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}

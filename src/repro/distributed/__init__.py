@@ -16,6 +16,12 @@ from repro.distributed.controller import (
     NoControl,
     Sequencer,
 )
+from repro.distributed.faults import (
+    CrashEvent,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 from repro.distributed.migration import MigratingTransaction
 from repro.distributed.network import Message, Network
 from repro.distributed.node import DataNode
@@ -31,4 +37,8 @@ __all__ = [
     "DistributedPreventControl",
     "DistributedResult",
     "DistributedRuntime",
+    "LinkFaults",
+    "CrashEvent",
+    "Partition",
+    "FaultPlan",
 ]

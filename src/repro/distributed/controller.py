@@ -35,6 +35,7 @@ import networkx as nx
 
 from repro.core.interleaving import InterleavingSpec
 from repro.core.nests import KNest
+from repro.distributed.faults import FaultPlan
 from repro.distributed.migration import MigratingTransaction
 from repro.distributed.network import Message, Network
 from repro.distributed.node import DataNode
@@ -252,6 +253,7 @@ class Sequencer:
         arrivals: Mapping[str, float],
         backoff: float = 6.0,
         commit_retry: float = 2.0,
+        rexmit_delay: float = 4.0,
     ) -> None:
         self.name = name
         self.network = network
@@ -261,6 +263,9 @@ class Sequencer:
         self.arrivals = dict(arrivals)
         self.backoff = backoff
         self.commit_retry = commit_retry
+        self.rexmit_delay = rexmit_delay
+        self.rexmit_cap = rexmit_delay * 8
+        self.reliable = network.reliable
 
         self.attempts: dict[str, int] = {t: 0 for t in origins}
         self.locations: dict[str, str] = {}
@@ -281,6 +286,33 @@ class Sequencer:
         self.commits = 0
         self.aborts = 0
         self.deadlocks = 0
+        self.recoveries = 0
+        # --- at-least-once protocol state (active under a fault plan) ---
+        # Last grant per transaction, so a lost grant can be re-issued
+        # verbatim when the request is retransmitted.
+        self._granted: dict[str, tuple[int, int]] = {}
+        # Per-node performed-sequence-number gating: reports are consumed
+        # strictly in each node's perform order, with out-of-order
+        # arrivals parked in a buffer — relaxed FIFO must not let a later
+        # report rewrite per-entity log order (cascade correctness).
+        self._next_psn: dict[str, int] = {}
+        self._psn_buffer: dict[str, dict[int, dict]] = {}
+        # Reliable sends awaiting acknowledgement: uid -> (kind, target,
+        # payload); undo uids are tracked separately as the rollback
+        # barrier (no restart may leave before every undo is applied).
+        self._pending: dict[str, tuple[str, str, dict]] = {}
+        self._undo_outstanding: set[str] = set()
+        self._deferred_restarts: list[str] = []
+        self._route_seen: set[tuple[str, int, int]] = set()
+        self._recovered_seen: set[str] = set()
+        # Highest reconciled crash epoch per node.  A message stamped
+        # with a later epoch comes from a reincarnation whose recovery
+        # has not been processed yet; engaging with it (e.g. granting a
+        # step) before the recovery rollback runs would let performed
+        # work escape the cascade.  Such messages are ignored — their
+        # retransmit chains re-deliver them after reconciliation.
+        self._node_epoch: dict[str, int] = {}
+        self._uid_n = 0
 
         network.register(name, self.handle)
         control.attach(self)
@@ -299,56 +331,152 @@ class Sequencer:
 
     # ------------------------------------------------------------------
 
+    def _uid(self) -> str:
+        self._uid_n += 1
+        return f"seq#{self._uid_n}"
+
+    def _unreconciled(self, payload: dict) -> bool:
+        node = payload.get("node")
+        if node is None:
+            return False
+        return payload.get("epoch", 0) > self._node_epoch.get(node, 0)
+
+    def _send_grant(self, node: str, name: str, attempt: int, steps: int) -> None:
+        self.outstanding.add(name)
+        self._granted[name] = (attempt, steps)
+        self.network.send(
+            node,
+            Message("grant", {"name": name, "attempt": attempt,
+                              "steps": steps}),
+            source=self.name,
+        )
+
+    def _send_deny(self, node: str, name: str, attempt: int, steps: int) -> None:
+        self.network.send(
+            node,
+            Message("deny", {"name": name, "attempt": attempt,
+                             "steps": steps}),
+            source=self.name,
+        )
+
     def _on_request(self, payload: dict) -> None:
         name = payload["name"]
-        if payload["attempt"] != self.attempts[name]:
+        attempt = payload["attempt"]
+        steps = payload["steps_taken"]
+        node = payload["node"]
+        if attempt != self.attempts[name]:
             self.network.send(
-                payload["node"],
-                Message("discard", {"name": name, "attempt": payload["attempt"]}),
+                node,
+                Message("discard", {"name": name, "attempt": attempt}),
+                source=self.name,
             )
             return
-        self.locations[name] = payload["node"]
-        if self.doomed:
-            # A rollback is waiting for in-flight steps to drain; quiesce
-            # new grants so the cascade is computed over a stable log.
-            self.network.send(
-                payload["node"],
-                Message("deny", {"name": name, "attempt": payload["attempt"]}),
-            )
+        if self.reliable:
+            if self._unreconciled(payload):
+                return  # the node rebooted; wait for its recovery report
+            # The location catalog is authoritative: a request from any
+            # other node is a ghost park left by a duplicated migration.
+            expected = self.locations.get(name)
+            if expected is not None and expected != node:
+                self.network.send(
+                    node,
+                    Message("discard", {"name": name, "attempt": attempt,
+                                        "steps": steps}),
+                    source=self.name,
+                )
+                return
+            state = self.progress.get(name)
+            if state is not None and steps < state["steps"]:
+                return  # stale retransmit of an already-performed step
+            if name in self.outstanding and self._granted.get(name) == (
+                attempt, steps,
+            ):
+                # The grant (or its report) is in flight or was lost;
+                # re-issuing it verbatim is idempotent at the node.
+                self._send_grant(node, name, attempt, steps)
+                return
+        else:
+            self.locations[name] = node
+        if self.doomed or self._undo_outstanding:
+            # A rollback is waiting for in-flight steps to drain (or for
+            # its undo barrier); quiesce new grants so the cascade is
+            # computed over a stable log and no step overtakes an undo.
+            self._send_deny(node, name, attempt, steps)
             return
         decision = self.control.decide(payload)
         if decision == "grant":
-            self.outstanding.add(name)
-            self.network.send(
-                payload["node"],
-                Message("grant", {"name": name, "attempt": payload["attempt"]}),
-            )
+            self._send_grant(node, name, attempt, steps)
         elif decision == "wait":
-            self.network.send(
-                payload["node"],
-                Message("deny", {"name": name, "attempt": payload["attempt"]}),
-            )
+            self._send_deny(node, name, attempt, steps)
         else:
             _tag, victims = decision
             self.deadlocks += 1
             self._abort(victims)
             if name not in victims:
-                self.network.send(
-                    payload["node"],
-                    Message("deny", {"name": name, "attempt": payload["attempt"]}),
-                )
+                self._send_deny(node, name, attempt, steps)
 
     def _on_performed(self, payload: dict) -> None:
-        txn: MigratingTransaction = payload["txn"]
-        name = txn.name
-        if txn.attempt != self.attempts[name]:
-            # Deferred-abort protocol: an abort never executes while a
-            # grant is outstanding, so stale reports cannot occur.
-            raise NetworkError(
-                f"stale performed-report for {name!r} attempt {txn.attempt}"
+        if not self.reliable:
+            self._consume_performed(payload)
+            return
+        if self._unreconciled(payload):
+            # Must not acknowledge either: the ack would pop the report
+            # from the node's durable tail while we discard its content.
+            return
+        if "uid" in payload:
+            self.network.send(
+                payload["node"],
+                Message("performed-ack", {"uid": payload["uid"]}),
+                source=self.name,
             )
+        self._ingest_performed(payload)
+
+    def _ingest_performed(self, payload: dict) -> None:
+        """Admit a report through the per-node psn gate: reports are
+        consumed strictly in each node's perform order, so relaxed FIFO
+        can never rewrite per-entity log order (which the cascade and
+        undo plan both depend on).  Every performed psn is either acked
+        (consumed or buffered here) or still in its node's durable tail,
+        so the gate can never deadlock on a hole."""
+        node, psn = payload["node"], payload["psn"]
+        next_psn = self._next_psn.get(node, 0)
+        if psn < next_psn:
+            return  # duplicate of an already-consumed report
+        if psn > next_psn:
+            self._psn_buffer.setdefault(node, {})[psn] = payload
+            return
+        self._consume_performed(payload)
+        next_psn += 1
+        buffered = self._psn_buffer.get(node, {})
+        while next_psn in buffered:
+            self._consume_performed(buffered.pop(next_psn))
+            next_psn += 1
+        self._next_psn[node] = next_psn
+
+    def _consume_performed(self, payload: dict) -> None:
+        txn: MigratingTransaction = payload["txn"]
+        # Scalar state is snapshotted into the payload at perform time:
+        # the transaction object is shared by reference and may have
+        # advanced by the time a retransmitted report is consumed.
+        name = payload.get("name", txn.name)
+        attempt = payload.get("attempt", txn.attempt)
+        steps = payload.get("steps", txn.steps_taken)
+        cuts = payload["cuts"] if "cuts" in payload else txn.cut_levels
+        finished = payload.get("finished", txn.finished)
+        replay = payload.get("_replay", False)
+        if attempt != self.attempts[name]:
+            if not self.reliable:
+                # Deferred-abort protocol: an abort never executes while
+                # a grant is outstanding, so stale reports cannot occur.
+                raise NetworkError(
+                    f"stale performed-report for {name!r} attempt {attempt}"
+                )
+            return  # a rollback already claimed this attempt
+        if name in self.committed_names:
+            return
         self.outstanding.discard(name)
-        key = (name, txn.attempt)
+        self._granted.pop(name, None)
+        key = (name, attempt)
         record: StepRecord | None = payload["record"]
         if record is not None:
             writer = self.last_writer.get(record.entity)
@@ -358,23 +486,208 @@ class Sequencer:
             if not record.is_read_only:
                 self.last_writer[record.entity] = key
         self.progress[name] = {
-            "steps": txn.steps_taken,
-            "cuts": txn.cut_levels,
-            "finished": txn.finished,
+            "steps": steps,
+            "cuts": cuts,
+            "finished": finished,
         }
-        self.control.on_performed(
-            name, record, txn.cut_levels, txn.finished
-        )
+        self.control.on_performed(name, record, cuts, finished)
         self._process_doomed()
-        if txn.attempt != self.attempts[name]:
+        if attempt != self.attempts[name]:
             return  # the deferred rollback just claimed this transaction
-        if txn.finished:
+        if finished:
             self.pending_commit[name] = txn
             self._commit_check(name)
-        else:
+        elif not replay:
+            # A replayed orphan (crash-recovery tail) is never forwarded:
+            # its generator state died with the node; the cascade rule
+            # will restart the attempt from its origin.
             target = self.entity_owner[txn.pending_entity]
             self.locations[name] = target
-            self.network.send(target, Message("migrate", {"txn": txn}))
+            self._forward_migrate(target, txn, name, attempt, steps)
+
+    def _forward_migrate(
+        self,
+        target: str,
+        txn: MigratingTransaction,
+        name: str,
+        attempt: int,
+        steps: int,
+    ) -> None:
+        payload: dict = {
+            "txn": txn, "name": name, "attempt": attempt, "steps": steps,
+        }
+        if self.reliable:
+            uid = self._uid()
+            payload["uid"] = uid
+            self._pending[uid] = ("migrate", target, payload)
+            self._schedule_rexmit(uid, self.rexmit_delay)
+        self.network.send(target, Message("migrate", payload), source=self.name)
+
+    # ------------------------------------------------------------------
+    # at-least-once machinery (retransmits, routing, crash recovery)
+    # ------------------------------------------------------------------
+
+    def _schedule_rexmit(self, uid: str, delay: float) -> None:
+        self.network.send(
+            self.name,
+            Message("rexmit", {"uid": uid, "delay": delay}),
+            delay=delay,
+            timer=True,
+        )
+
+    def _on_rexmit(self, payload: dict) -> None:
+        uid = payload["uid"]
+        entry = self._pending.get(uid)
+        if entry is None:
+            return  # acknowledged — chain dies
+        kind, target, msg_payload = entry
+        if kind in ("migrate", "restart"):
+            name = msg_payload["name"]
+            if msg_payload["attempt"] != self.attempts[name]:
+                # The attempt was rolled back; stop resending its state.
+                self._pending.pop(uid, None)
+                return
+        self.network.send(target, Message(kind, msg_payload), source=self.name)
+        self._schedule_rexmit(
+            uid, min(payload["delay"] * 2.0, self.rexmit_cap)
+        )
+
+    def _on_migrate_ack(self, payload: dict) -> None:
+        self._pending.pop(payload["uid"], None)
+
+    def _on_restart_ack(self, payload: dict) -> None:
+        self._pending.pop(payload["uid"], None)
+
+    def _on_undo_ack(self, payload: dict) -> None:
+        uid = payload["uid"]
+        if self._pending.pop(uid, None) is None:
+            return  # duplicate ack
+        self._undo_outstanding.discard(uid)
+        if not self._undo_outstanding:
+            # Barrier down: every undo of the rollback is durably applied,
+            # so victims may restart without racing their own before-images.
+            self._flush_restarts()
+            self._process_doomed()
+
+    def _on_kickoff(self, payload: dict) -> None:
+        """Reliable-mode transaction injection: the sequencer owns the
+        start so a lost launch can be retransmitted like any restart."""
+        self._send_restart(payload["name"])
+
+    def _send_restart(self, name: str, delay: float | None = None) -> None:
+        attempt = self.attempts[name]
+        origin = self.origins[name]
+        payload: dict = {"name": name, "attempt": attempt}
+        if self.reliable:
+            # The catalog is authoritative in reliable mode; a restart
+            # moves the transaction back to its origin node.
+            self.locations[name] = origin
+            uid = self._uid()
+            payload["uid"] = uid
+            self._pending[uid] = ("restart", origin, payload)
+            self._schedule_rexmit(
+                uid, (delay or 0.0) + self.rexmit_delay
+            )
+        self.network.send(
+            origin, Message("restart", payload), delay=delay, source=self.name
+        )
+
+    def _restart_delay(self, name: str) -> float:
+        # Exponentially growing restart separation: repeated mutual
+        # aborts must eventually stagger the victims far enough apart
+        # that one finishes before the other starts.
+        return (
+            self.backoff
+            * min(self.attempts[name], 64)
+            * self.network.rng.uniform(0.5, 1.5)
+        )
+
+    def _flush_restarts(self) -> None:
+        victims, self._deferred_restarts = self._deferred_restarts, []
+        for name in victims:
+            if name in self.committed_names:
+                continue
+            self._send_restart(name, delay=self._restart_delay(name))
+
+    def _on_route(self, payload: dict) -> None:
+        """A node launched a transaction whose first entity lives
+        elsewhere; route it so the location catalog stays authoritative."""
+        if self._unreconciled(payload):
+            return  # un-acked: the route chain re-delivers it later
+        node, uid = payload["node"], payload["uid"]
+        name, attempt = payload["name"], payload["attempt"]
+        steps = payload["steps"]
+        self.network.send(
+            node, Message("route-ack", {"uid": uid}), source=self.name
+        )
+        if attempt != self.attempts[name]:
+            self.network.send(
+                node,
+                Message("discard", {"name": name, "attempt": attempt}),
+                source=self.name,
+            )
+            return
+        key3 = (name, attempt, steps)
+        if key3 in self._route_seen:
+            return
+        self._route_seen.add(key3)
+        txn: MigratingTransaction = payload["txn"]
+        if txn.steps_taken != steps or txn.pending_entity is None:
+            return  # late duplicate; the shared object has moved on
+        target = self.entity_owner[txn.pending_entity]
+        self.locations[name] = target
+        self._forward_migrate(target, txn, name, attempt, steps)
+
+    def _on_recovered(self, payload: dict) -> None:
+        """A node rebooted: replay its durable tail of unacknowledged
+        performed-reports (so the global log regains every orphaned
+        before-image), then roll back whatever was in flight there —
+        the cascade rule computes the full victim set and the recovered
+        store is healed by the resulting undo plan."""
+        node, uid = payload["node"], payload["uid"]
+        tail = payload["tail"]
+        epoch = payload.get("epoch", 0)
+        fresh = (
+            uid not in self._recovered_seen
+            and epoch > self._node_epoch.get(node, 0)
+        )
+        self.network.send(
+            node,
+            Message(
+                "recovered-ack",
+                {"uid": uid,
+                 # Tail uids are acknowledged only on the copy actually
+                 # replayed: a late copy may list reports performed
+                 # *after* reconciliation, and acking those without
+                 # ingesting them would orphan them (the node would stop
+                 # retransmitting a report the log never saw).
+                 "performed_uids": (
+                     [p["uid"] for p in tail if "uid" in p] if fresh else []
+                 )},
+            ),
+            source=self.name,
+        )
+        self._recovered_seen.add(uid)
+        if not fresh:
+            return
+        self._node_epoch[node] = epoch
+        self.recoveries += 1
+        for entry in tail:
+            self._on_performed({**entry, "_replay": True})
+        stranded = {
+            name
+            for name, location in self.locations.items()
+            if location == node
+            and name not in self.committed_names
+            and name not in self.pending_commit
+        }
+        for name in stranded:
+            # Their grants or reports died with the node; nothing will
+            # drain them, so the rollback must not wait for it.
+            self.outstanding.discard(name)
+            self._granted.pop(name, None)
+        if stranded:
+            self._abort(stranded)
 
     def _on_commit_check(self, payload: dict) -> None:
         name = payload["name"]
@@ -386,13 +699,15 @@ class Sequencer:
     def _commit_check(self, name: str) -> None:
         txn = self.pending_commit[name]
         key = (name, txn.attempt)
-        if self.doomed:
-            # Never commit while a rollback is pending: the cascade might
-            # still claim this transaction.
+        if self.doomed or self._undo_outstanding:
+            # Never commit while a rollback is pending (or its undo
+            # barrier is still up): the cascade might still claim this
+            # transaction.
             self.network.send(
                 self.name,
                 Message("commit-check", {"name": name, "attempt": txn.attempt}),
                 delay=self.commit_retry,
+                timer=True,
             )
             return
         pending = {
@@ -411,6 +726,7 @@ class Sequencer:
                             {"name": name, "attempt": txn.attempt},
                         ),
                         delay=self.commit_retry,
+                        timer=True,
                     )
                 return
             del self.pending_commit[name]
@@ -431,6 +747,7 @@ class Sequencer:
             self.name,
             Message("commit-check", {"name": name, "attempt": txn.attempt}),
             delay=self.commit_retry,
+            timer=True,
         )
 
     def _dep_cycle(self, name: str) -> list[str] | None:
@@ -462,6 +779,8 @@ class Sequencer:
             return
         if self.outstanding:
             return  # drain first; grants are quiesced meanwhile
+        if self._undo_outstanding:
+            return  # a previous rollback's undo barrier is still up
         victims = set(self.doomed)
         self.doomed.clear()
         seeds = {(name, self.attempts[name]) for name in victims}
@@ -471,11 +790,32 @@ class Sequencer:
             raise NetworkError(
                 f"recoverability violated in distributed run: {overlap}"
             )
-        for entity, value in undo_plan(self.log, cascade):
-            self.network.send(
-                self.entity_owner[entity],
-                Message("undo", {"entity": entity, "value": value}),
-            )
+        plan = undo_plan(self.log, cascade)
+        if self.reliable:
+            # The faulty network may reorder per-entity undo messages, so
+            # coalesce to one restoration per entity.  The plan iterates
+            # newest-first, so the final assignment per entity is the
+            # *oldest* before-image — the value the store must end at.
+            final: dict[str, object] = {}
+            for entity, value in plan:
+                final[entity] = value
+            for entity, value in final.items():
+                uid = self._uid()
+                target = self.entity_owner[entity]
+                payload = {"entity": entity, "value": value, "uid": uid}
+                self._pending[uid] = ("undo", target, payload)
+                self._undo_outstanding.add(uid)
+                self._schedule_rexmit(uid, self.rexmit_delay)
+                self.network.send(
+                    target, Message("undo", payload), source=self.name
+                )
+        else:
+            for entity, value in plan:
+                self.network.send(
+                    self.entity_owner[entity],
+                    Message("undo", {"entity": entity, "value": value}),
+                    source=self.name,
+                )
         self.log = [e for e in self.log if e[0] not in cascade]
         self.last_writer = {}
         for key, record in self.log:
@@ -488,22 +828,21 @@ class Sequencer:
             self.progress.pop(name, None)
             self.pending_commit.pop(name, None)
             self.deps.pop((name, old_attempt), None)
+            self._granted.pop(name, None)
             location = self.locations.get(name)
             if location is not None:
                 self.network.send(
                     location,
                     Message("discard", {"name": name, "attempt": old_attempt}),
+                    source=self.name,
                 )
-            self.network.send(
-                self.origins[name],
-                Message("restart", {"name": name, "attempt": self.attempts[name]}),
-                # Exponentially growing restart separation: repeated
-                # mutual aborts must eventually stagger the victims far
-                # enough apart that one finishes before the other starts.
-                delay=self.backoff
-                * min(self.attempts[name], 64)
-                * self.network.rng.uniform(0.5, 1.5),
-            )
+            if self.reliable and self._undo_outstanding:
+                # Restarts wait behind the undo barrier: a restarted
+                # attempt must never read a value its own rollback has
+                # not yet restored.
+                self._deferred_restarts.append(name)
+            else:
+                self._send_restart(name, delay=self._restart_delay(name))
             self.aborts += 1
 
 
@@ -527,6 +866,10 @@ class DistributedResult:
     deadlocks: int
     node_count: int = 0
     control: str = "none"
+    timers: int = 0
+    timers_by_kind: dict[str, int] = field(default_factory=dict)
+    faults: dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0
 
     def spec(self, nest: KNest) -> InterleavingSpec:
         return spec_for_execution(self.execution, nest, self.cut_levels)
@@ -556,12 +899,23 @@ class DistributedRuntime:
         arrivals: Mapping[str, float] | None = None,
         retry_delay: float = 2.0,
         backoff: float = 6.0,
+        faults: FaultPlan | None = None,
+        rexmit_delay: float = 4.0,
     ) -> None:
         programs = list(programs)
         if nodes < 1:
             raise NetworkError("need at least one data node")
-        self.network = Network(latency=latency, seed=seed)
         node_names = [f"node{i}" for i in range(nodes)]
+        if faults is not None:
+            # The sequencer is assumed fail-free (the classic asymmetry
+            # of sequencer designs); only data nodes may crash.
+            for event in faults.crashes:
+                if event.node not in node_names:
+                    raise NetworkError(
+                        f"crash event targets unknown or uncrashable "
+                        f"node {event.node!r}"
+                    )
+        self.network = Network(latency=latency, seed=seed, faults=faults)
         entity_owner = {
             entity: node_names[i % nodes]
             for i, entity in enumerate(sorted(initial_values))
@@ -584,6 +938,7 @@ class DistributedRuntime:
             origins,
             arrival_times,
             backoff=backoff,
+            rexmit_delay=rexmit_delay,
         )
         self.nodes: list[DataNode] = []
         for node_name in node_names:
@@ -606,6 +961,7 @@ class DistributedRuntime:
                     node_programs,
                     entity_owner,
                     retry_delay=retry_delay,
+                    rexmit_delay=rexmit_delay,
                 )
             )
         self._initial_values = dict(initial_values)
@@ -615,11 +971,22 @@ class DistributedRuntime:
 
     def run(self) -> DistributedResult:
         for program in self._programs:
-            self.network.send(
-                self._origins[program.name],
-                Message("start", {"name": program.name}),
-                delay=self._arrivals[program.name],
-            )
+            if self.network.reliable:
+                # The sequencer owns injection under faults: the kickoff
+                # is a local timer (the workload always *arrives*), and
+                # the launch it triggers is a retransmittable restart.
+                self.network.send(
+                    "sequencer",
+                    Message("kickoff", {"name": program.name}),
+                    delay=self._arrivals[program.name],
+                    timer=True,
+                )
+            else:
+                self.network.send(
+                    self._origins[program.name],
+                    Message("start", {"name": program.name}),
+                    delay=self._arrivals[program.name],
+                )
         makespan = self.network.run()
         seq = self.sequencer
         if len(seq.committed_names) != len(self._programs):
@@ -644,4 +1011,8 @@ class DistributedRuntime:
             deadlocks=seq.deadlocks,
             node_count=len(self.nodes),
             control=self.control.name,
+            timers=self.network.timers_set,
+            timers_by_kind=dict(self.network.timers_by_kind),
+            faults=self.network.fault_summary(),
+            recoveries=seq.recoveries,
         )

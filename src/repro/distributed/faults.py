@@ -1,0 +1,139 @@
+"""Seeded fault policies for the simulated network (experiment E14).
+
+The perfect-network assumption of the Section 6 substrate — exactly-once
+delivery, FIFO links, immortal nodes — is exactly what real migrating-
+transaction systems cannot have.  A :class:`FaultPlan` describes the
+adversary: per-link message drop, duplication and reordering (relaxed
+FIFO), timed link partitions, and node crash/recover events scheduled on
+simulation time.  All fault decisions are drawn from a dedicated RNG
+(``seed``), so a faulty run is reproducible and independent of the
+latency RNG: a plan whose every rate is zero and whose crash list is
+empty is *inactive* and leaves the network bit-identical to a run with
+no plan at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+__all__ = ["LinkFaults", "CrashEvent", "Partition", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault rates.
+
+    ``drop``/``duplicate``/``reorder`` are per-message probabilities; a
+    reordered message escapes the per-target FIFO channel and picks up
+    extra delivery jitter drawn uniformly from ``[0, reorder_jitter]``.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_jitter: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise NetworkError(f"{name} rate {rate} outside [0, 1]")
+        if self.reorder_jitter < 0:
+            raise NetworkError(f"negative reorder jitter {self.reorder_jitter}")
+
+    @property
+    def active(self) -> bool:
+        return self.drop > 0 or self.duplicate > 0 or self.reorder > 0
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Node ``node`` crashes at simulation time ``at`` and recovers
+    ``duration`` later.  Volatile state (parked transactions, timers,
+    retransmit chains) is lost; the entity store and the write-ahead
+    log (unacknowledged performed-reports, applied-undo ids) survive."""
+
+    node: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise NetworkError(
+                f"bad crash window at={self.at} duration={self.duration}"
+            )
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Both directions of the ``(a, b)`` link drop every message during
+    ``[at, at + duration)`` — a timed network partition."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise NetworkError(
+                f"bad partition window at={self.at} duration={self.duration}"
+            )
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+    def severs(self, src: str | None, dst: str, now: float) -> bool:
+        if not self.at <= now < self.until:
+            return False
+        return {src, dst} == {self.a, self.b}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full adversary for one run.
+
+    ``default`` applies to every link unless ``links`` carries a more
+    specific policy; link keys are ``(source, target)`` names with ``"*"``
+    as a wildcard on either side.  Local timers (messages a handler
+    schedules to itself with an explicit delay) are *not* network traffic
+    and are never subjected to link faults — though a crashed node's
+    timers die with it.
+    """
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: Mapping[tuple[str, str], LinkFaults] = field(default_factory=dict)
+    crashes: tuple[CrashEvent, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    seed: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can perturb a run at all.  Inactive plans
+        keep the runtime on its exactly-once fast path."""
+        return (
+            self.default.active
+            or any(link.active for link in self.links.values())
+            or bool(self.crashes)
+            or bool(self.partitions)
+        )
+
+    def link(self, src: str | None, dst: str) -> LinkFaults:
+        """The policy governing one ``src -> dst`` message."""
+        if self.links:
+            for key in ((src, dst), (src, "*"), ("*", dst)):
+                policy = self.links.get(key)  # type: ignore[arg-type]
+                if policy is not None:
+                    return policy
+        return self.default
+
+    def severed(self, src: str | None, dst: str, now: float) -> bool:
+        return any(p.severs(src, dst, now) for p in self.partitions)

@@ -5,6 +5,13 @@ delivery timestamp drawn from a configurable latency range, a global heap
 orders deliveries, and handlers may send further messages.  "The total
 order of the execution is determined by real clock time" (Section 6) maps
 to simulation time with a deterministic tie-break.
+
+With a :class:`~repro.distributed.faults.FaultPlan` attached the network
+becomes an adversary: per-link message drop, duplication and reordering
+(relaxed FIFO), timed partitions, and scheduled node crash/recover
+events.  Fault decisions come from a dedicated RNG, so an *inactive*
+plan (all rates zero, no crashes) is bit-identical to running with no
+plan at all.
 """
 
 from __future__ import annotations
@@ -15,9 +22,13 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.distributed.faults import FaultPlan
 from repro.errors import NetworkError
 
 __all__ = ["Message", "Network"]
+
+#: Internal heap target used for crash/recover control events.
+_FAULT_TARGET = "__faults__"
 
 
 @dataclass(frozen=True)
@@ -45,6 +56,7 @@ class Network:
         seed: int = 0,
         max_events: int = 5_000_000,
         fifo: bool = True,
+        faults: FaultPlan | None = None,
     ) -> None:
         lo, hi = latency
         if lo < 0 or hi < lo:
@@ -53,13 +65,36 @@ class Network:
         self.rng = random.Random(seed)
         self.max_events = max_events
         self.fifo = fifo
+        self.faults = faults
+        #: Whether the at-least-once reliability protocol must be on.
+        self.reliable = faults is not None and faults.active
+        self.fault_rng = random.Random(faults.seed if faults else 0)
         self.now = 0.0
+        # Real network traffic and local timers are counted separately:
+        # a retry timer is not a message on the wire (experiment E7
+        # reads per-kind counts as protocol overhead).
         self.messages_sent = 0
         self.messages_by_kind: dict[str, int] = {}
+        self.timers_set = 0
+        self.timers_by_kind: dict[str, int] = {}
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+        self.messages_severed = 0
+        self.drops_while_down = 0
+        self.crashes_applied = 0
+        self.down: set[str] = set()
         self._heap: list[_Delivery] = []
         self._seq = 0
         self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._crash_hooks: dict[str, tuple[Callable[[], None], Callable[[], None]]] = {}
         self._last_delivery: dict[str, float] = {}
+        if faults is not None:
+            for event in faults.crashes:
+                self._push(event.at, _FAULT_TARGET,
+                           Message("crash", {"node": event.node}))
+                self._push(event.until, _FAULT_TARGET,
+                           Message("recover", {"node": event.node}))
 
     # ------------------------------------------------------------------
 
@@ -68,36 +103,114 @@ class Network:
             raise NetworkError(f"handler {name!r} already registered")
         self._handlers[name] = handler
 
-    def send(
-        self, target: str, message: Message, delay: float | None = None
+    def register_crash_hooks(
+        self,
+        name: str,
+        on_crash: Callable[[], None],
+        on_recover: Callable[[], None],
     ) -> None:
-        """Queue a message for delivery after the network latency (or an
-        explicit ``delay``, e.g. a local retry timer).
+        """Callbacks invoked when ``name`` crashes / recovers: the node
+        uses them to wipe volatile state and replay its durable log."""
+        self._crash_hooks[name] = (on_crash, on_recover)
+
+    def _push(self, when: float, target: str, message: Message) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, _Delivery(when, self._seq, target, message))
+
+    def send(
+        self,
+        target: str,
+        message: Message,
+        delay: float | None = None,
+        source: str | None = None,
+        timer: bool = False,
+    ) -> None:
+        """Queue a message for delivery after the network latency (or at
+        an explicit ``delay``, e.g. a scheduled restart).
 
         Latency-delivered messages ride per-target FIFO channels (a
         message never overtakes an earlier one to the same handler — undo
-        must not race grant).  Explicit-delay messages are *timers*, not
-        traffic: they skip the channel so a long backoff cannot freeze
-        every later delivery to its target.
+        must not race grant); explicit-delay messages skip the channel so
+        a long backoff cannot freeze every later delivery to its target.
+
+        ``timer=True`` marks the message as a *local* timer (retry ticks,
+        commit-check polls, retransmit alarms): timers are not network
+        traffic, are counted separately, and are never touched by link
+        faults — though they still die silently if their owner is down
+        when they fire.
         """
         if target not in self._handlers:
             raise NetworkError(f"no handler registered for {target!r}")
-        timer = delay is not None
-        if delay is None:
-            delay = self.rng.uniform(*self.latency)
-        when = self.now + delay
-        if self.fifo and not timer:
-            when = max(when, self._last_delivery.get(target, 0.0) + 1e-9)
-            self._last_delivery[target] = when
-        self._seq += 1
+        if timer:
+            self.timers_set += 1
+            self.timers_by_kind[message.kind] = (
+                self.timers_by_kind.get(message.kind, 0) + 1
+            )
+            self._push(self.now + (delay or 0.0), target, message)
+            return
         self.messages_sent += 1
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
         )
-        heapq.heappush(
-            self._heap,
-            _Delivery(when, self._seq, target, message),
-        )
+        link = None
+        if self.faults is not None and self.reliable:
+            if self.faults.severed(source, target, self.now):
+                self.messages_severed += 1
+                return
+            link = self.faults.link(source, target)
+            if link.drop > 0 and self.fault_rng.random() < link.drop:
+                self.messages_dropped += 1
+                return
+        if delay is not None:
+            # Scheduled departure (e.g. a backed-off restart): the wire
+            # time is part of the schedule, outside the FIFO channel.
+            when = self.now + delay
+        else:
+            when = self.now + self.rng.uniform(*self.latency)
+            reordered = (
+                link is not None
+                and link.reorder > 0
+                and self.fault_rng.random() < link.reorder
+            )
+            if reordered:
+                # Relaxed FIFO: this message escapes the channel and may
+                # overtake earlier traffic to the same target.
+                self.messages_reordered += 1
+                when += self.fault_rng.uniform(0.0, link.reorder_jitter)
+            elif self.fifo:
+                when = max(when, self._last_delivery.get(target, 0.0) + 1e-9)
+                self._last_delivery[target] = when
+        self._push(when, target, message)
+        if (
+            link is not None
+            and link.duplicate > 0
+            and self.fault_rng.random() < link.duplicate
+        ):
+            # A rogue copy with its own jitter, outside the FIFO channel.
+            self.messages_duplicated += 1
+            extra = when if delay is not None else (
+                self.now + self.rng.uniform(*self.latency)
+            )
+            if link.reorder_jitter > 0:
+                extra += self.fault_rng.uniform(0.0, link.reorder_jitter)
+            self._push(extra, target, message)
+
+    # ------------------------------------------------------------------
+
+    def _apply_fault_event(self, message: Message) -> None:
+        node = message.payload["node"]
+        if node not in self._handlers:
+            raise NetworkError(f"crash event for unknown node {node!r}")
+        hooks = self._crash_hooks.get(node)
+        if message.kind == "crash":
+            self.down.add(node)
+            self.crashes_applied += 1
+            if hooks is not None:
+                hooks[0]()
+        else:
+            self.down.discard(node)
+            if hooks is not None:
+                hooks[1]()
 
     def run(self) -> float:
         """Deliver messages until the system quiesces; returns the final
@@ -111,5 +224,23 @@ class Network:
                 )
             delivery = heapq.heappop(self._heap)
             self.now = delivery.time
+            if delivery.target == _FAULT_TARGET:
+                self._apply_fault_event(delivery.message)
+                continue
+            if delivery.target in self.down:
+                # A crashed node neither receives traffic nor fires its
+                # timers; both die silently while it is down.
+                self.drops_while_down += 1
+                continue
             self._handlers[delivery.target](delivery.message)
         return self.now
+
+    def fault_summary(self) -> dict[str, int]:
+        return {
+            "dropped": self.messages_dropped,
+            "duplicated": self.messages_duplicated,
+            "reordered": self.messages_reordered,
+            "severed": self.messages_severed,
+            "lost_to_down_node": self.drops_while_down,
+            "crashes": self.crashes_applied,
+        }

@@ -4,20 +4,24 @@ A node parks migrating transactions that arrive for one of its entities,
 asks the sequencer for permission, performs granted steps on its local
 store, and reports each performed step (shipping the transaction state
 onward through the sequencer, which routes it to the next owner).
+
+Under a fault plan (``network.reliable``) the node speaks an
+at-least-once protocol: every performed-report carries a per-node
+sequence number (``psn``) and is retransmitted with capped exponential
+backoff until the sequencer acknowledges it; grant/deny/discard/undo
+handlers are idempotent behind dedup state; and a crash wipes volatile
+state (parked transactions, timers, retransmit chains) while the entity
+store and the write-ahead log — unacknowledged performed-reports plus
+applied-undo ids — survive to be replayed on recovery.
 """
 
 from __future__ import annotations
-
-from typing import TYPE_CHECKING
 
 from repro.distributed.migration import MigratingTransaction
 from repro.distributed.network import Message, Network
 from repro.errors import NetworkError
 from repro.model.programs import TransactionProgram
 from repro.model.variables import EntityStore
-
-if TYPE_CHECKING:  # pragma: no cover
-    pass
 
 __all__ = ["DataNode"]
 
@@ -34,6 +38,7 @@ class DataNode:
         home_programs: dict[str, TransactionProgram],
         entity_owner: dict[str, str],
         retry_delay: float = 2.0,
+        rexmit_delay: float = 4.0,
     ) -> None:
         self.name = name
         self.network = network
@@ -44,8 +49,29 @@ class DataNode:
         # which entity (how [RSL] transactions know where to migrate).
         self.entity_owner = dict(entity_owner)
         self.retry_delay = retry_delay
-        self.parked: dict[str, MigratingTransaction] = {}
+        self.rexmit_delay = rexmit_delay
+        self.rexmit_cap = rexmit_delay * 8
+        self.reliable = network.reliable
+        # Keyed by (name, attempt): under at-least-once delivery a stale
+        # ghost of an old attempt may transiently coexist with the live
+        # one, and the two must never collide in the parking lot.
+        self.parked: dict[tuple[str, int], MigratingTransaction] = {}
+        # --- volatile reliability state (lost on crash) ---
+        self._req_epoch: dict[tuple[str, int], int] = {}
+        self._migrate_seen: set[tuple[str, int, int]] = set()
+        self._launched: set[tuple[str, int]] = set()
+        self._route_unacked: dict[str, dict] = {}
+        self._recover_pending: str | None = None
+        self._uid_n = 0
+        # --- durable state (survives crashes: the write-ahead log) ---
+        self._psn = 0
+        self._performed_unacked: dict[str, dict] = {}
+        self._undo_applied: set[str] = set()
+        self._crash_epoch = 0
         network.register(name, self.handle)
+        network.register_crash_hooks(
+            name, self._on_crash_event, self._on_recover_event
+        )
 
     # ------------------------------------------------------------------
 
@@ -57,49 +83,220 @@ class DataNode:
             )
         handler(message.payload)
 
+    def _uid(self) -> str:
+        self._uid_n += 1
+        return f"{self.name}/e{self._crash_epoch}#{self._uid_n}"
+
+    def _rexmit(self, kind: str, info: dict, delay: float) -> None:
+        self.network.send(
+            self.name,
+            Message(kind, {**info, "delay": delay}),
+            delay=delay,
+            timer=True,
+        )
+
+    def _next_delay(self, payload: dict) -> float:
+        return min(payload["delay"] * 2.0, self.rexmit_cap)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
     # ------------------------------------------------------------------
 
-    def _request(self, txn: MigratingTransaction) -> None:
-        if txn.finished:
-            self.network.send(
-                self.sequencer,
-                Message(
-                    "performed",
-                    {
-                        "txn": txn,
-                        "record": None,
-                        "node": self.name,
-                    },
-                ),
-            )
-            return
+    def _on_crash_event(self) -> None:
+        """Power loss: volatile state evaporates; the store and the
+        write-ahead log (performed tail, undo dedup ids) persist."""
+        self._crash_epoch += 1
+        self._uid_n = 0
+        self.parked.clear()
+        self._req_epoch.clear()
+        self._migrate_seen.clear()
+        self._launched.clear()
+        self._route_unacked.clear()
+        self._recover_pending = None
+
+    def _on_recover_event(self) -> None:
+        """Reboot: announce the durable log tail to the sequencer so it
+        can replay orphaned performed-reports through the cascade rule
+        and restart whatever was parked here."""
+        self._recover_pending = f"{self.name}/r{self._crash_epoch}"
+        self._send_recovered()
+
+    def _send_recovered(self, delay: float | None = None) -> None:
+        tail = sorted(
+            self._performed_unacked.values(), key=lambda p: p["psn"]
+        )
         self.network.send(
             self.sequencer,
             Message(
-                "request",
-                {
-                    "name": txn.name,
-                    "attempt": txn.attempt,
-                    "entity": txn.pending_entity,
-                    "kind": txn.pending_kind,
-                    "node": self.name,
-                    "steps_taken": txn.steps_taken,
-                    "cut_levels": txn.cut_levels,
-                },
+                "recovered",
+                {"node": self.name, "uid": self._recover_pending,
+                 "tail": tail, "epoch": self._crash_epoch},
             ),
+            source=self.name,
         )
+        self._rexmit(
+            "rexmit-recovered",
+            {"uid": self._recover_pending},
+            delay if delay is not None else self.rexmit_delay,
+        )
+
+    def _on_rexmit_recovered(self, payload: dict) -> None:
+        if payload["uid"] != self._recover_pending:
+            return
+        self._send_recovered(self._next_delay(payload))
+
+    def _on_recovered_ack(self, payload: dict) -> None:
+        if payload["uid"] == self._recover_pending:
+            self._recover_pending = None
+        for uid in payload.get("performed_uids", ()):
+            self._performed_unacked.pop(uid, None)
+
+    # ------------------------------------------------------------------
+    # outbound paths
+    # ------------------------------------------------------------------
+
+    def _request_payload(self, txn: MigratingTransaction) -> dict:
+        return {
+            "name": txn.name,
+            "attempt": txn.attempt,
+            "entity": txn.pending_entity,
+            "kind": txn.pending_kind,
+            "node": self.name,
+            "steps_taken": txn.steps_taken,
+            "cut_levels": txn.cut_levels,
+            "epoch": self._crash_epoch,
+        }
+
+    def _request(self, txn: MigratingTransaction) -> None:
+        if txn.finished:
+            self._ship_performed(txn, None)
+            return
+        self.network.send(
+            self.sequencer,
+            Message("request", self._request_payload(txn)),
+            source=self.name,
+        )
+        if self.reliable:
+            key = (txn.name, txn.attempt)
+            epoch = self._req_epoch.get(key, 0) + 1
+            self._req_epoch[key] = epoch
+            self._rexmit(
+                "rexmit-request",
+                {"name": txn.name, "attempt": txn.attempt, "epoch": epoch},
+                self.rexmit_delay,
+            )
+
+    def _on_rexmit_request(self, payload: dict) -> None:
+        key = (payload["name"], payload["attempt"])
+        txn = self.parked.get(key)
+        if txn is None or self._req_epoch.get(key) != payload["epoch"]:
+            return  # answered, discarded, or superseded — chain dies
+        self.network.send(
+            self.sequencer,
+            Message("request", self._request_payload(txn)),
+            source=self.name,
+        )
+        self._rexmit(
+            "rexmit-request",
+            {"name": payload["name"], "attempt": payload["attempt"],
+             "epoch": payload["epoch"]},
+            self._next_delay(payload),
+        )
+
+    def _ship_performed(self, txn: MigratingTransaction, record) -> None:
+        # Scalar state is snapshotted at perform time: the transaction
+        # object is shared by reference across the simulation, so a
+        # retransmitted report must describe the step as it was, not as
+        # the object has since advanced.
+        payload = {
+            "txn": txn,
+            "record": record,
+            "node": self.name,
+            "name": txn.name,
+            "attempt": txn.attempt,
+            "steps": txn.steps_taken,
+            "cuts": txn.cut_levels,
+            "finished": txn.finished,
+            "epoch": self._crash_epoch,
+        }
+        if self.reliable:
+            uid = self._uid()
+            payload["uid"] = uid
+            payload["psn"] = self._psn
+            self._psn += 1
+            self._performed_unacked[uid] = payload
+            self._rexmit("rexmit-performed", {"uid": uid}, self.rexmit_delay)
+        self.network.send(
+            self.sequencer, Message("performed", payload), source=self.name
+        )
+
+    def _on_rexmit_performed(self, payload: dict) -> None:
+        stored = self._performed_unacked.get(payload["uid"])
+        if stored is None:
+            return
+        self.network.send(
+            self.sequencer, Message("performed", stored), source=self.name
+        )
+        self._rexmit(
+            "rexmit-performed",
+            {"uid": payload["uid"]},
+            self._next_delay(payload),
+        )
+
+    def _on_performed_ack(self, payload: dict) -> None:
+        self._performed_unacked.pop(payload["uid"], None)
 
     def _launch(self, txn: MigratingTransaction) -> None:
         """Park locally when we own the next entity (or the transaction
         is already finished); otherwise migrate to the owner."""
         entity = txn.pending_entity
         if entity is not None and entity not in self.store:
-            self.network.send(
-                self.entity_owner[entity], Message("migrate", {"txn": txn})
-            )
+            if self.reliable:
+                # Route through the sequencer so its location catalog
+                # stays authoritative (ghost requests from duplicated
+                # migrations are rejected against it).
+                uid = self._uid()
+                payload = {
+                    "txn": txn,
+                    "name": txn.name,
+                    "attempt": txn.attempt,
+                    "steps": txn.steps_taken,
+                    "node": self.name,
+                    "uid": uid,
+                    "epoch": self._crash_epoch,
+                }
+                self._route_unacked[uid] = payload
+                self.network.send(
+                    self.sequencer, Message("route", payload), source=self.name
+                )
+                self._rexmit("rexmit-route", {"uid": uid}, self.rexmit_delay)
+            else:
+                self.network.send(
+                    self.entity_owner[entity],
+                    Message("migrate", {"txn": txn}),
+                    source=self.name,
+                )
             return
-        self.parked[txn.name] = txn
+        self.parked[(txn.name, txn.attempt)] = txn
         self._request(txn)
+
+    def _on_rexmit_route(self, payload: dict) -> None:
+        stored = self._route_unacked.get(payload["uid"])
+        if stored is None:
+            return
+        self.network.send(
+            self.sequencer, Message("route", stored), source=self.name
+        )
+        self._rexmit(
+            "rexmit-route", {"uid": payload["uid"]}, self._next_delay(payload)
+        )
+
+    def _on_route_ack(self, payload: dict) -> None:
+        self._route_unacked.pop(payload["uid"], None)
+
+    # ------------------------------------------------------------------
+    # inbound handlers
+    # ------------------------------------------------------------------
 
     def _on_start(self, payload: dict) -> None:
         name = payload["name"]
@@ -107,61 +304,109 @@ class DataNode:
         program = self.home_programs[name]
         self._launch(MigratingTransaction(program, self.name, attempt))
 
+    def _on_restart(self, payload: dict) -> None:
+        name, attempt = payload["name"], payload["attempt"]
+        if self.reliable:
+            if "uid" in payload:
+                self.network.send(
+                    self.sequencer,
+                    Message("restart-ack", {"uid": payload["uid"]}),
+                    source=self.name,
+                )
+            if (name, attempt) in self._launched:
+                return  # duplicate restart: the attempt is already live
+            self._launched.add((name, attempt))
+        program = self.home_programs[name]
+        self._launch(MigratingTransaction(program, self.name, attempt))
+
     def _on_migrate(self, payload: dict) -> None:
         txn: MigratingTransaction = payload["txn"]
+        name = payload.get("name", txn.name)
+        attempt = payload.get("attempt", txn.attempt)
+        steps = payload.get("steps", txn.steps_taken)
+        if self.reliable and "uid" in payload:
+            self.network.send(
+                self.sequencer,
+                Message("migrate-ack", {"uid": payload["uid"]}),
+                source=self.name,
+            )
+        key3 = (name, attempt, steps)
+        if key3 in self._migrate_seen:
+            return
+        self._migrate_seen.add(key3)
+        if self.reliable and txn.steps_taken != steps:
+            # A late copy: the (shared) transaction object has advanced
+            # past the state this message described.  Ignore it.
+            return
         if txn.pending_entity is not None and txn.pending_entity not in self.store:
+            if self.reliable:
+                return  # stale ghost addressed by an outdated placement
             raise NetworkError(
                 f"transaction {txn.name!r} migrated to {self.name!r} which "
                 f"does not own {txn.pending_entity!r}"
             )
-        self.parked[txn.name] = txn
+        self.parked[(name, attempt)] = txn
         self._request(txn)
 
     def _on_grant(self, payload: dict) -> None:
-        name = payload["name"]
-        txn = self.parked.get(name)
-        if txn is None or txn.attempt != payload["attempt"]:
-            return  # stale grant for a rolled-back attempt
-        del self.parked[name]
+        key = (payload["name"], payload["attempt"])
+        txn = self.parked.get(key)
+        if txn is None:
+            return  # stale grant for a rolled-back or moved-on attempt
+        if "steps" in payload and payload["steps"] != txn.steps_taken:
+            return  # duplicate grant for an earlier step of this attempt
+        del self.parked[key]
+        self._req_epoch.pop(key, None)
         record = txn.perform(self.store)
         # Ship the state onward through the sequencer, which updates its
         # global picture and routes the transaction to the next owner.
-        self.network.send(
-            self.sequencer,
-            Message(
-                "performed",
-                {"txn": txn, "record": record, "node": self.name},
-            ),
-        )
+        self._ship_performed(txn, record)
 
     def _on_deny(self, payload: dict) -> None:
-        name = payload["name"]
-        txn = self.parked.get(name)
-        if txn is None or txn.attempt != payload["attempt"]:
+        key = (payload["name"], payload["attempt"])
+        txn = self.parked.get(key)
+        if txn is None:
             return
-        # Re-request after a local retry timer (each retry is a message).
+        if "steps" in payload and payload["steps"] != txn.steps_taken:
+            return
+        if self.reliable:
+            # Invalidate the request retransmit chain; the retry below
+            # will open a fresh one.
+            self._req_epoch[key] = self._req_epoch.get(key, 0) + 1
+        # Re-request after a local retry timer (not network traffic).
         self.network.send(
             self.name,
-            Message("retry", {"name": name, "attempt": txn.attempt}),
+            Message("retry", {"name": payload["name"],
+                              "attempt": payload["attempt"]}),
             delay=self.retry_delay,
+            timer=True,
         )
 
     def _on_retry(self, payload: dict) -> None:
-        txn = self.parked.get(payload["name"])
-        if txn is None or txn.attempt != payload["attempt"]:
+        txn = self.parked.get((payload["name"], payload["attempt"]))
+        if txn is None:
             return
         self._request(txn)
 
     def _on_discard(self, payload: dict) -> None:
-        txn = self.parked.get(payload["name"])
-        if txn is not None and txn.attempt == payload["attempt"]:
-            del self.parked[payload["name"]]
+        key = (payload["name"], payload["attempt"])
+        txn = self.parked.get(key)
+        if txn is None:
+            return
+        if "steps" in payload and payload["steps"] != txn.steps_taken:
+            return  # ghost-discard aimed at a state we are no longer in
+        del self.parked[key]
+        self._req_epoch.pop(key, None)
 
     def _on_undo(self, payload: dict) -> None:
+        if self.reliable and "uid" in payload:
+            self.network.send(
+                self.sequencer,
+                Message("undo-ack", {"uid": payload["uid"],
+                                     "node": self.name}),
+                source=self.name,
+            )
+            if payload["uid"] in self._undo_applied:
+                return  # duplicate undo: already applied (durably logged)
+            self._undo_applied.add(payload["uid"])
         self.store.restore(payload["entity"], payload["value"])
-
-    def _on_restart(self, payload: dict) -> None:
-        program = self.home_programs[payload["name"]]
-        self._launch(
-            MigratingTransaction(program, self.name, payload["attempt"])
-        )

@@ -74,18 +74,33 @@ class Metrics:
         """Aborts per commit (restart pressure)."""
         return self.aborts / self.commits if self.commits else float("inf")
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, float | None]:
+        # A zero-commit run must not masquerade as healthy: with aborts
+        # on record the truthful rate is infinite (matching the
+        # ``abort_rate`` property); with neither commits nor aborts the
+        # rate is undefined, reported as None (JSON null).
+        if self.commits:
+            abort_rate: float | None = round(self.abort_rate, 4)
+        elif self.aborts:
+            abort_rate = float("inf")
+        else:
+            abort_rate = None
         return {
             "ticks": self.ticks,
             "commits": self.commits,
             "aborts": self.aborts,
+            "restarts": self.restarts,
             "waits": self.waits,
+            "commit_waits": self.commit_waits,
             "deadlocks": self.deadlocks,
             "cycles_detected": self.cycles_detected,
             "cascade_aborts": self.cascade_aborts,
+            "partial_rollbacks": self.partial_rollbacks,
+            "steps_undone": self.steps_undone,
             "throughput": round(self.throughput, 4),
             "mean_latency": round(self.mean_latency, 2),
-            "abort_rate": round(self.abort_rate, 4) if self.commits else 0.0,
+            "latency_max": self.latency_max,
+            "abort_rate": abort_rate,
             "closure_checks": self.closure_checks,
             "closure_edges_added": self.closure_edges_added,
             "closure_seconds": round(self.closure_seconds, 6),

@@ -33,12 +33,14 @@ def cascade_closure(
     ``(attempt key, record)`` pairs.
     """
     cascade = set(seeds)
+    # The per-entity index depends only on ``entries``; building it once
+    # (not per fixpoint round) keeps long-log cascades linear per round.
+    per_entity: dict[str, list[tuple[K, StepRecord]]] = {}
+    for key, record in entries:
+        per_entity.setdefault(record.entity, []).append((key, record))
     changed = True
     while changed:
         changed = False
-        per_entity: dict[str, list[tuple[K, StepRecord]]] = {}
-        for key, record in entries:
-            per_entity.setdefault(record.entity, []).append((key, record))
         for sequence in per_entity.values():
             tainted = False
             for key, record in sequence:

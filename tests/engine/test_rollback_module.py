@@ -80,6 +80,49 @@ class TestUndoPlan:
         assert undo_plan(log, {("a", 0)}) == [("X", 1)]
 
 
+def _cascade_closure_reference(entries, seeds):
+    """The pre-hoist implementation (per-entity index rebuilt inside the
+    fixpoint loop): kept as the oracle for the hoisted fast path."""
+    cascade = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        per_entity = {}
+        for key, record in entries:
+            per_entity.setdefault(record.entity, []).append((key, record))
+        for sequence in per_entity.values():
+            tainted = False
+            for key, record in sequence:
+                if tainted and key not in cascade:
+                    cascade.add(key)
+                    changed = True
+                if key in cascade and record.kind is not StepKind.READ:
+                    tainted = True
+    return cascade
+
+
+@given(seed=st.integers(0, 5_000), n=st.integers(0, 40))
+@settings(max_examples=80, deadline=None)
+def test_cascade_closure_matches_pre_hoist_reference(seed, n):
+    """Regression for the index hoist: the per-entity index depends only
+    on the log, so building it once must not change any closure."""
+    rng = random.Random(seed)
+    log = []
+    counters: dict[str, int] = {}
+    for _ in range(n):
+        txn = f"t{rng.randrange(6)}"
+        idx = counters.get(txn, 0)
+        counters[txn] = idx + 1
+        kind = rng.choice([StepKind.READ, StepKind.WRITE, StepKind.UPDATE])
+        log.append(entry(txn, idx, f"x{rng.randrange(5)}", kind, 0, 1))
+    seeds = {
+        (f"t{rng.randrange(6)}", 0) for _ in range(rng.randrange(3))
+    }
+    assert cascade_closure(log, seeds) == _cascade_closure_reference(
+        log, seeds
+    )
+
+
 @given(seed=st.integers(0, 5_000), n=st.integers(1, 30))
 @settings(max_examples=60, deadline=None)
 def test_undo_restores_exactly_the_pre_cascade_values(seed, n):

@@ -30,6 +30,11 @@ def test_quick_bench_smoke():
         assert json.load(handle) == data
     assert data["timings_ms"]["e1_accept"]
     assert data["timings_ms"]["e10_incremental+prune"]
+    # The E14 fault smoke must have exercised every control (result
+    # identity under faults is asserted inside the runner).
+    assert set(data["timings_ms"]["e14_fault_smoke"]) == {
+        "none", "2pl", "mla-prevent",
+    }
     for key, factor in data["speedup_vs_seed"].items():
         if factor < 1.0:
             warnings.warn(
