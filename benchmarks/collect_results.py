@@ -9,9 +9,15 @@ Usage: ``python benchmarks/collect_results.py`` (after running
 
 ``python benchmarks/collect_results.py --quick`` instead runs a reduced
 smoke workload (E1 at <=400 steps, E10 at <=120 steps, plus the E14
-distributed fault smoke) against the seed baselines and writes
-``BENCH_PR2.json`` at the repository root — correctness is asserted,
-timings are recorded with speedup factors.
+distributed fault smoke and the flight-recorder trace smoke) against the
+seed baselines and writes ``BENCH_PR2.json`` at the repository root —
+correctness is asserted, timings are recorded with speedup factors.
+
+The trace smoke records one small banking run per scheduler, asserts the
+traced run is behaviour-identical to the untraced one (same metrics,
+same commit order), round-trips the recording through JSONL, and
+measures the disabled-tracer guard overhead on the E1 quick workload
+(asserted < 3%).
 """
 
 from __future__ import annotations
@@ -93,6 +99,120 @@ Regenerate everything with::
 """
 
 
+#: Disabled-tracer overhead budget, in percent of run time (ISSUE 4).
+TRACE_OVERHEAD_BUDGET_PCT = 3.0
+
+
+def trace_smoke() -> dict:
+    """Flight-recorder smoke: record one small banking run per
+    scheduler, assert behaviour-invariance against the untraced run,
+    round-trip the recording through JSONL, and measure the disabled-
+    tracer guard overhead.
+
+    The overhead number is the honest one for always-on guards: the
+    measured per-guard cost (attribute load + branch on the null
+    tracer) times the number of events an enabled run of the same
+    workload emits, as a percentage of the untraced run's wall time.
+    """
+    import tempfile
+    import timeit
+
+    from repro.core.nests import KNest
+    from repro.engine import (
+        MLADetectScheduler,
+        MLAPreventScheduler,
+        NestedLockScheduler,
+        SerialScheduler,
+        TimestampScheduler,
+        TwoPhaseLockingScheduler,
+    )
+    from repro.obs import EVENT_KINDS, NULL_TRACER, RingTracer, dump_jsonl, load_jsonl
+    from repro.workloads import BankingConfig, BankingWorkload
+
+    workload = BankingWorkload(
+        BankingConfig(families=2, transfers=6, bank_audits=1,
+                      creditor_audits=1, seed=7)
+    )
+    zoo = {
+        "serial": lambda nest: SerialScheduler(),
+        "2pl": lambda nest: TwoPhaseLockingScheduler(),
+        "timestamp": lambda nest: TimestampScheduler(),
+        "mla-detect": lambda nest: MLADetectScheduler(nest),
+        "mla-prevent": lambda nest: MLAPreventScheduler(nest),
+        "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
+    }
+    events_per_run: dict[str, int] = {}
+    untraced_seconds: dict[str, float] = {}
+    for name, factory in zoo.items():
+        tracer = RingTracer(capacity=None)
+        traced = workload.engine(
+            factory(workload.nest), seed=7, tracer=tracer
+        ).run()
+        start = time.perf_counter()
+        untraced = workload.engine(factory(workload.nest), seed=7).run()
+        untraced_seconds[name] = time.perf_counter() - start
+        assert traced.commit_order == untraced.commit_order, (
+            f"trace smoke: commit order diverged under tracing ({name})"
+        )
+        traced_summary = traced.metrics.summary()
+        untraced_summary = untraced.metrics.summary()
+        # closure_seconds is wall-clock, inherently run-to-run noisy.
+        traced_summary.pop("closure_seconds")
+        untraced_summary.pop("closure_seconds")
+        assert traced_summary == untraced_summary, (
+            f"trace smoke: metrics diverged under tracing ({name})"
+        )
+        events = tracer.events()
+        assert tracer.dropped == 0
+        assert events, f"trace smoke: no events recorded ({name})"
+        assert all(e.kind in EVENT_KINDS for e in events)
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", delete=False
+        ) as handle:
+            path = handle.name
+        try:
+            written = dump_jsonl(events, path)
+            parsed = load_jsonl(path)
+        finally:
+            os.unlink(path)
+        assert written == len(events) == len(parsed)
+        assert [
+            (e.kind, e.at) for e in parsed
+        ] == [(e.kind, e.at) for e in events], (
+            f"trace smoke: JSONL round-trip mangled the stream ({name})"
+        )
+        events_per_run[name] = len(events)
+    # Guard micro-cost: one attribute load + branch against the shared
+    # null tracer, net of empty-loop cost.
+    n = 200_000
+    guard = timeit.timeit(
+        "tr.enabled", globals={"tr": NULL_TRACER}, number=n
+    )
+    empty = timeit.timeit("pass", number=n)
+    guard_seconds = max(guard - empty, 0.0) / n
+    overhead_pct = {
+        name: round(
+            100.0 * guard_seconds * events_per_run[name]
+            / untraced_seconds[name],
+            4,
+        )
+        for name in zoo
+        if untraced_seconds[name] > 0
+    }
+    worst = max(overhead_pct.values())
+    assert worst < TRACE_OVERHEAD_BUDGET_PCT, (
+        f"disabled-tracer overhead {worst}% exceeds the "
+        f"{TRACE_OVERHEAD_BUDGET_PCT}% budget"
+    )
+    return {
+        "events_per_run": events_per_run,
+        "guard_ns": round(guard_seconds * 1e9, 2),
+        "disabled_overhead_pct": overhead_pct,
+        "disabled_overhead_worst_pct": worst,
+        "budget_pct": TRACE_OVERHEAD_BUDGET_PCT,
+    }
+
+
 def run_quick(
     e1_sizes=(100, 400), e10_sizes=(40, 120)
 ) -> dict:
@@ -164,7 +284,11 @@ def run_quick(
                    "(stream <= 120 steps)",
             "e14": "distributed fault smoke (10% drop/dup/reorder + one "
                    "node crash per control, results vs fault-free)",
+            "trace": "flight-recorder smoke (one traced banking run per "
+                     "scheduler: behaviour-invariance, JSONL round-trip, "
+                     "disabled-guard overhead)",
         },
+        "trace": trace_smoke(),
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}
             for key, sizes in timings.items()

@@ -14,6 +14,10 @@ Commands
     by nest depth (experiment E2's measurement, on demand).
 ``walkthrough``
     Reproduce the paper's worked examples (Sections 4.2-5.2, 7).
+``trace``
+    Run a workload with the flight recorder on, print a per-tick event
+    timeline and a "why did T abort" cause-chain explanation, and
+    optionally dump the recording as JSONL.
 
 Everything is seeded and deterministic; pass ``--seed`` to vary.
 """
@@ -151,6 +155,52 @@ def cmd_walkthrough(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        RingTracer,
+        aborted_transactions,
+        dump_jsonl,
+        explain_abort,
+        format_timeline,
+    )
+
+    workload = _build_workload(args)
+    scheduler = SCHEDULERS[args.scheduler](workload.nest)
+    tracer = RingTracer(capacity=None)
+    result = workload.engine(
+        scheduler, seed=args.seed, tracer=tracer
+    ).run()
+    events = tracer.events()
+    metrics = result.metrics
+    print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
+          f"seed: {args.seed}")
+    print(f"recorded {len(events)} events over {metrics.ticks} ticks "
+          f"(commits={metrics.commits}, aborts={metrics.aborts})")
+    if args.out:
+        written = dump_jsonl(events, args.out)
+        print(f"wrote {written} events to {args.out}")
+    print()
+    for line in format_timeline(events, limit=args.limit):
+        print(line)
+    aborted = aborted_transactions(events)
+    target = args.explain
+    if target is None and aborted:
+        target = aborted[0]
+    if target is not None:
+        print()
+        explanation = explain_abort(events, target)
+        if explanation:
+            print(f"why did {target} abort?")
+            for line in explanation:
+                print(f"  {line}")
+        else:
+            print(f"no abort of {target!r} in the event stream")
+    elif not aborted:
+        print()
+        print("no aborts in this run")
+    return 0
+
+
 def _add_workload_arguments(parser) -> None:
     parser.add_argument(
         "--workload", choices=["banking", "cad", "fgl"], default="banking"
@@ -192,6 +242,26 @@ def build_parser() -> argparse.ArgumentParser:
         "walkthrough", help="reproduce the paper's worked examples"
     )
     walkthrough.set_defaults(func=cmd_walkthrough)
+
+    trace = sub.add_parser(
+        "trace", help="record a run and explain its aborts"
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="mla-detect"
+    )
+    trace.add_argument(
+        "--out", default=None, help="write the recording to this JSONL file"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=80,
+        help="timeline lines to print (tail; default 80)",
+    )
+    trace.add_argument(
+        "--explain", default=None, metavar="TXN",
+        help="explain this transaction's abort (default: first victim)",
+    )
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -128,6 +128,11 @@ class DistributedPreventControl(NoControl):
         self.nest = nest
         self.window = ClosureWindow(nest, mode=mode, conflicts=conflicts)
 
+    def attach(self, sequencer: "Sequencer") -> None:
+        super().attach(sequencer)
+        self.window.tracer = sequencer.network.tracer
+        self.window.clock = lambda: sequencer.network.now
+
     def _at_breakpoint(self, name: str, level: int) -> bool:
         seq = self.sequencer
         state = seq.progress.get(name)
@@ -344,6 +349,12 @@ class Sequencer:
     def _send_grant(self, node: str, name: str, attempt: int, steps: int) -> None:
         self.outstanding.add(name)
         self._granted[name] = (attempt, steps)
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "seq.grant", self.network.now,
+                txn=name, attempt=attempt, step=steps, node=node,
+            )
         self.network.send(
             node,
             Message("grant", {"name": name, "attempt": attempt,
@@ -352,6 +363,12 @@ class Sequencer:
         )
 
     def _send_deny(self, node: str, name: str, attempt: int, steps: int) -> None:
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "seq.deny", self.network.now,
+                txn=name, attempt=attempt, step=steps, node=node,
+            )
         self.network.send(
             node,
             Message("deny", {"name": name, "attempt": attempt,
@@ -672,6 +689,12 @@ class Sequencer:
             return
         self._node_epoch[node] = epoch
         self.recoveries += 1
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "seq.recover", self.network.now,
+                node=node, tail=len(tail), epoch=epoch,
+            )
         for entry in tail:
             self._on_performed({**entry, "_replay": True})
         stranded = {
@@ -735,12 +758,26 @@ class Sequencer:
             self.results[name] = txn.result
             self.final_cut_levels[name] = txn.cut_levels
             self.commits += 1
+            tr = self.network.tracer
+            if tr.enabled:
+                tr.emit(
+                    "seq.commit", self.network.now,
+                    txn=name, attempt=txn.attempt,
+                    latency=self.network.now - self.arrivals.get(name, 0.0),
+                )
             self.control.on_commit(name)
             return
         cycle = self._dep_cycle(name)
         if cycle:
             victim = max(cycle, key=self.priority_key)
             self.deadlocks += 1
+            tr = self.network.tracer
+            if tr.enabled:
+                tr.emit(
+                    "deadlock", self.network.now,
+                    cycle=list(cycle), victim=victim,
+                    cause="commit-dependency",
+                )
             self._abort([victim])
             return
         self.network.send(
@@ -784,11 +821,21 @@ class Sequencer:
         victims = set(self.doomed)
         self.doomed.clear()
         seeds = {(name, self.attempts[name]) for name in victims}
-        cascade = cascade_closure(self.log, seeds)
+        tr = self.network.tracer
+        cascade = cascade_closure(
+            self.log, seeds, tracer=tr, at=self.network.now
+        )
         overlap = cascade & self.committed
         if overlap:
             raise NetworkError(
                 f"recoverability violated in distributed run: {overlap}"
+            )
+        if tr.enabled:
+            tr.emit(
+                "seq.abort", self.network.now,
+                victims=sorted(name for name, _ in seeds),
+                cascade=sorted(name for name, _ in cascade - seeds),
+                chain=len(cascade),
             )
         plan = undo_plan(self.log, cascade)
         if self.reliable:
@@ -901,6 +948,7 @@ class DistributedRuntime:
         backoff: float = 6.0,
         faults: FaultPlan | None = None,
         rexmit_delay: float = 4.0,
+        tracer=None,
     ) -> None:
         programs = list(programs)
         if nodes < 1:
@@ -915,7 +963,9 @@ class DistributedRuntime:
                         f"crash event targets unknown or uncrashable "
                         f"node {event.node!r}"
                     )
-        self.network = Network(latency=latency, seed=seed, faults=faults)
+        self.network = Network(
+            latency=latency, seed=seed, faults=faults, tracer=tracer
+        )
         entity_owner = {
             entity: node_names[i % nodes]
             for i, entity in enumerate(sorted(initial_values))

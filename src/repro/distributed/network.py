@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.distributed.faults import FaultPlan
 from repro.errors import NetworkError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Message", "Network"]
 
@@ -57,12 +58,16 @@ class Network:
         max_events: int = 5_000_000,
         fifo: bool = True,
         faults: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         lo, hi = latency
         if lo < 0 or hi < lo:
             raise NetworkError(f"bad latency range {latency}")
         self.latency = latency
         self.rng = random.Random(seed)
+        # Flight recorder; events carry simulation time.  Emission never
+        # touches ``rng``/``fault_rng``, so traced runs are identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_events = max_events
         self.fifo = fifo
         self.faults = faults
@@ -152,14 +157,30 @@ class Network:
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
         )
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "msg.send", self.now, kind=message.kind,
+                source=source, target=target,
+            )
         link = None
         if self.faults is not None and self.reliable:
             if self.faults.severed(source, target, self.now):
                 self.messages_severed += 1
+                if tr.enabled:
+                    tr.emit(
+                        "msg.sever", self.now, kind=message.kind,
+                        source=source, target=target,
+                    )
                 return
             link = self.faults.link(source, target)
             if link.drop > 0 and self.fault_rng.random() < link.drop:
                 self.messages_dropped += 1
+                if tr.enabled:
+                    tr.emit(
+                        "msg.drop", self.now, kind=message.kind,
+                        source=source, target=target,
+                    )
                 return
         if delay is not None:
             # Scheduled departure (e.g. a backed-off restart): the wire
@@ -177,6 +198,11 @@ class Network:
                 # overtake earlier traffic to the same target.
                 self.messages_reordered += 1
                 when += self.fault_rng.uniform(0.0, link.reorder_jitter)
+                if tr.enabled:
+                    tr.emit(
+                        "msg.reorder", self.now, kind=message.kind,
+                        source=source, target=target, when=when,
+                    )
             elif self.fifo:
                 when = max(when, self._last_delivery.get(target, 0.0) + 1e-9)
                 self._last_delivery[target] = when
@@ -194,6 +220,11 @@ class Network:
             if link.reorder_jitter > 0:
                 extra += self.fault_rng.uniform(0.0, link.reorder_jitter)
             self._push(extra, target, message)
+            if tr.enabled:
+                tr.emit(
+                    "msg.dup", self.now, kind=message.kind,
+                    source=source, target=target, when=extra,
+                )
 
     # ------------------------------------------------------------------
 
@@ -202,13 +233,18 @@ class Network:
         if node not in self._handlers:
             raise NetworkError(f"crash event for unknown node {node!r}")
         hooks = self._crash_hooks.get(node)
+        tr = self.tracer
         if message.kind == "crash":
             self.down.add(node)
             self.crashes_applied += 1
+            if tr.enabled:
+                tr.emit("node.crash", self.now, node=node)
             if hooks is not None:
                 hooks[0]()
         else:
             self.down.discard(node)
+            if tr.enabled:
+                tr.emit("node.recover", self.now, node=node)
             if hooks is not None:
                 hooks[1]()
 
@@ -231,7 +267,19 @@ class Network:
                 # A crashed node neither receives traffic nor fires its
                 # timers; both die silently while it is down.
                 self.drops_while_down += 1
+                tr = self.tracer
+                if tr.enabled:
+                    tr.emit(
+                        "msg.lost-down", self.now,
+                        kind=delivery.message.kind, target=delivery.target,
+                    )
                 continue
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(
+                    "msg.recv", self.now,
+                    kind=delivery.message.kind, target=delivery.target,
+                )
             self._handlers[delivery.target](delivery.message)
         return self.now
 

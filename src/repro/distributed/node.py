@@ -278,6 +278,16 @@ class DataNode:
                 )
             return
         self.parked[(txn.name, txn.attempt)] = txn
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "node.park",
+                self.network.now,
+                node=self.name,
+                txn=txn.name,
+                attempt=txn.attempt,
+                entity=txn.pending_entity,
+            )
         self._request(txn)
 
     def _on_rexmit_route(self, payload: dict) -> None:
@@ -358,6 +368,20 @@ class DataNode:
         del self.parked[key]
         self._req_epoch.pop(key, None)
         record = txn.perform(self.store)
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "step.perform",
+                self.network.now,
+                txn=txn.name,
+                attempt=txn.attempt,
+                step=record.step.index,
+                entity=record.entity,
+                kind=record.kind.value,
+                node=self.name,
+                before=record.value_before,
+                after=record.value_after,
+            )
         # Ship the state onward through the sequencer, which updates its
         # global picture and routes the transaction to the next owner.
         self._ship_performed(txn, record)
@@ -410,3 +434,12 @@ class DataNode:
                 return  # duplicate undo: already applied (durably logged)
             self._undo_applied.add(payload["uid"])
         self.store.restore(payload["entity"], payload["value"])
+        tr = self.network.tracer
+        if tr.enabled:
+            tr.emit(
+                "step.undo",
+                self.network.now,
+                node=self.name,
+                entity=payload["entity"],
+                restored=payload["value"],
+            )

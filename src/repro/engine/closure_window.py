@@ -56,6 +56,7 @@ from repro.core.nests import KNest
 from repro.core.segmentation import BreakpointDescription
 from repro.errors import EngineError
 from repro.model.steps import StepId, StepKind
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ClosureWindow"]
 
@@ -163,6 +164,10 @@ class ClosureWindow:
         self.closure_seconds = 0.0
         self.closure_edges_propagated = 0
         self.closure_word_ops = 0
+        # Flight recorder, wired by Scheduler.attach (the window itself
+        # has no engine reference); ``clock`` supplies the event time.
+        self.tracer = NULL_TRACER
+        self.clock = lambda: 0
 
     # ------------------------------------------------------------------
     # window contents
@@ -309,6 +314,15 @@ class ClosureWindow:
         result = self._result_of(engine)
         self._live = None if engine.cyclic else live
         self._last_result = result
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "closure.rebuild",
+                self.clock(),
+                size=self.size,
+                edges=index.edges,
+                acyclic=result.is_partial_order,
+            )
         return result
 
     def _closure(
@@ -589,3 +603,12 @@ class ClosureWindow:
             if u in remaining and v in remaining
         }
         self._invalidate()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "closure.prune",
+                self.clock(),
+                pruned=sorted(prunable),
+                shortcuts=len(self._shortcut_edges),
+                size=self.size,
+            )

@@ -5,11 +5,20 @@ control should detect *fewer cycles* (hence roll back less) and admit
 *more interleavings* (hence wait less) than one enforcing strict
 serializability.  These counters are what the benchmark harness reads to
 test those conjectures quantitatively.
+
+Latency and per-transaction wait counts are kept in fixed-bucket
+histograms (:class:`repro.obs.Histogram`), so ``summary()`` reports
+p50/p95/p99 tails rather than only a total and a maximum — tail latency
+is where "waits less" actually shows.  The old total/max keys remain for
+backward compatibility.  ``merge`` combines per-node metrics from
+distributed runs (counters add, maxima max, histograms add bucket-wise).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.histogram import Histogram
 
 __all__ = ["Metrics"]
 
@@ -44,19 +53,54 @@ class Metrics:
     latency_max: int = 0
     cascade_chain_max: int = 0
     per_transaction_latency: dict[str, int] = field(default_factory=dict)
+    per_transaction_waits: dict[str, int] = field(default_factory=dict)
+    latency_histogram: Histogram = field(default_factory=Histogram)
+    wait_histogram: Histogram = field(default_factory=Histogram)
 
     # ------------------------------------------------------------------
 
-    def record_commit(self, name: str, latency: int) -> None:
+    def record_commit(self, name: str, latency: int, waited: int = 0) -> None:
         self.commits += 1
         self.latency_total += latency
         self.latency_max = max(self.latency_max, latency)
         self.per_transaction_latency[name] = latency
+        self.per_transaction_waits[name] = waited
+        self.latency_histogram.record(latency)
+        self.wait_histogram.record(waited)
 
     def record_cascade(self, size: int) -> None:
         if size > 1:
             self.cascade_aborts += size - 1
         self.cascade_chain_max = max(self.cascade_chain_max, size)
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold another run's (or node's) metrics into this one.
+
+        Counters add; maxima take the max (``ticks`` too: parallel nodes
+        overlap in time, so the merged run is as long as its longest
+        participant, not the sum); per-transaction dicts union (a
+        transaction commits on exactly one node); histograms add
+        bucket-wise, which is exact.
+        """
+        self.ticks = max(self.ticks, other.ticks)
+        for counter in (
+            "steps_performed", "steps_undone", "waits", "commits", "aborts",
+            "restarts", "deadlocks", "cycles_detected", "cascade_aborts",
+            "partial_rollbacks", "steps_preserved", "closure_edges_added",
+            "closure_checks", "closure_edges_propagated", "closure_word_ops",
+            "commit_waits", "latency_total",
+        ):
+            setattr(self, counter, getattr(self, counter) + getattr(other, counter))
+        self.closure_seconds += other.closure_seconds
+        self.latency_max = max(self.latency_max, other.latency_max)
+        self.cascade_chain_max = max(
+            self.cascade_chain_max, other.cascade_chain_max
+        )
+        self.per_transaction_latency.update(other.per_transaction_latency)
+        self.per_transaction_waits.update(other.per_transaction_waits)
+        self.latency_histogram.merge(other.latency_histogram)
+        self.wait_histogram.merge(other.wait_histogram)
+        return self
 
     # ------------------------------------------------------------------
 
@@ -95,11 +139,21 @@ class Metrics:
             "deadlocks": self.deadlocks,
             "cycles_detected": self.cycles_detected,
             "cascade_aborts": self.cascade_aborts,
+            "cascade_chain_max": self.cascade_chain_max,
             "partial_rollbacks": self.partial_rollbacks,
+            "steps_performed": self.steps_performed,
             "steps_undone": self.steps_undone,
+            "steps_preserved": self.steps_preserved,
             "throughput": round(self.throughput, 4),
             "mean_latency": round(self.mean_latency, 2),
+            "latency_total": self.latency_total,
             "latency_max": self.latency_max,
+            "latency_p50": self.latency_histogram.percentile(0.50),
+            "latency_p95": self.latency_histogram.percentile(0.95),
+            "latency_p99": self.latency_histogram.percentile(0.99),
+            "wait_p50": self.wait_histogram.percentile(0.50),
+            "wait_p95": self.wait_histogram.percentile(0.95),
+            "wait_p99": self.wait_histogram.percentile(0.99),
             "abort_rate": abort_rate,
             "closure_checks": self.closure_checks,
             "closure_edges_added": self.closure_edges_added,

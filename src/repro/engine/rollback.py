@@ -23,16 +23,30 @@ K = TypeVar("K", bound=Hashable)
 __all__ = ["cascade_closure", "undo_plan"]
 
 
+def _key_fields(prefix: str, key: object) -> dict[str, object]:
+    """Trace-payload fields for an attempt key (engine and sequencer both
+    use ``(name, attempt)`` tuples; anything else degrades to a string)."""
+    if isinstance(key, tuple) and len(key) == 2:
+        return {prefix: key[0], f"{prefix}_attempt": key[1]}
+    return {prefix: str(key)}
+
+
 def cascade_closure(
     entries: Sequence[tuple[K, StepRecord]],
     seeds: Iterable[K],
+    tracer=None,
+    at: float = 0.0,
 ) -> set[K]:
     """The full victim set implied by rolling back ``seeds``.
 
     ``entries`` is the live access log in global performance order, as
-    ``(attempt key, record)`` pairs.
+    ``(attempt key, record)`` pairs.  With a ``tracer``, every attempt
+    the rule pulls in emits a ``cascade.join`` event naming the entity
+    and the already-cascading attempt whose undone write tainted it —
+    the link the abort explainer follows back to the seed victim.
     """
     cascade = set(seeds)
+    trace = tracer is not None and tracer.enabled
     # The per-entity index depends only on ``entries``; building it once
     # (not per fixpoint round) keeps long-log cascades linear per round.
     per_entity: dict[str, list[tuple[K, StepRecord]]] = {}
@@ -41,14 +55,24 @@ def cascade_closure(
     changed = True
     while changed:
         changed = False
-        for sequence in per_entity.values():
+        for entity, sequence in per_entity.items():
             tainted = False
+            tainter: K | None = None
             for key, record in sequence:
                 if tainted and key not in cascade:
                     cascade.add(key)
                     changed = True
+                    if trace:
+                        tracer.emit(
+                            "cascade.join",
+                            at,
+                            entity=entity,
+                            **_key_fields("txn", key),
+                            **_key_fields("cause", tainter),
+                        )
                 if key in cascade and record.kind is not StepKind.READ:
                     tainted = True
+                    tainter = key
     return cascade
 
 

@@ -41,6 +41,7 @@ from repro.model.programs import TransactionProgram
 from repro.model.steps import StepKind, StepRecord
 from repro.model.system import _LiveTransaction
 from repro.model.variables import EntityStore
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Engine", "EngineResult", "TxnState"]
 
@@ -59,6 +60,9 @@ class TxnState:
     committed: bool = False
     commit_tick: int | None = None
     deps: set[tuple[str, int]] = field(default_factory=set)
+    # WAIT decisions received across all attempts (admission + commit),
+    # feeding the per-transaction wait histogram at commit time.
+    waits: int = 0
 
     @property
     def name(self) -> str:
@@ -149,6 +153,9 @@ class Engine:
     backoff:
         Base backoff (in ticks) after a rollback; the actual delay is
         uniform in ``[1, backoff * attempts]``.
+    tracer:
+        Optional :class:`repro.obs.Tracer` flight recorder.  ``None``
+        (the default) traces nothing at null-tracer cost.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class Engine:
         backoff: int = 4,
         recovery: str = "transaction",
         schedule: list[str] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if recovery not in ("transaction", "segment"):
             raise EngineError(f"unknown recovery unit {recovery!r}")
@@ -170,6 +178,10 @@ class Engine:
         self.scheduler = scheduler
         self.rng = random.Random(seed)
         self.metrics = Metrics()
+        # The flight recorder.  Defaults to the shared null tracer, whose
+        # per-site cost is one attribute load + branch; emission never
+        # consumes ``self.rng``, so traced runs are behaviour-identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_ticks = max_ticks
         self.stall_limit = stall_limit
         self.backoff = backoff
@@ -238,6 +250,14 @@ class Engine:
                 decision = self.scheduler.on_stall(candidates)
                 if decision.action is Action.ABORT and decision.victims:
                     self.metrics.deadlocks += 1
+                    tr = self.tracer
+                    if tr.enabled:
+                        tr.emit(
+                            "engine.stall",
+                            self.tick,
+                            victims=list(decision.victims),
+                            reason=decision.reason or "stall",
+                        )
                     self._abort(
                         decision.victims,
                         decision.reason or "stall",
@@ -301,6 +321,12 @@ class Engine:
             )
             return True
         self.metrics.waits += 1
+        txn.waits += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "txn.wait", self.tick, txn=txn.name, reason=decision.reason
+            )
         txn.wake_tick = self.tick + 1
         return False
 
@@ -316,6 +342,19 @@ class Engine:
         if record.kind is not StepKind.READ:
             self._last_writer[access.entity] = txn.key
         self.metrics.steps_performed += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "step.perform",
+                self.tick,
+                txn=txn.name,
+                attempt=txn.attempt,
+                step=record.step.index,
+                entity=record.entity,
+                kind=record.kind.value,
+                before=record.value_before,
+                after=record.value_after,
+            )
         return record
 
     def _try_commit(self, txn: TxnState) -> bool:
@@ -327,9 +366,27 @@ class Engine:
             if cycle:
                 victim = max(cycle, key=lambda t: (t.priority, t.name))
                 self.metrics.deadlocks += 1
+                tr = self.tracer
+                if tr.enabled:
+                    tr.emit(
+                        "deadlock",
+                        self.tick,
+                        cycle=[t.name for t in cycle],
+                        victim=victim.name,
+                        cause="commit-dependency",
+                    )
                 self._abort([victim.name], "commit-dependency cycle")
                 return True
             self.metrics.commit_waits += 1
+            txn.waits += 1
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(
+                    "txn.commit-wait",
+                    self.tick,
+                    txn=txn.name,
+                    pending=sorted(d[0] for d in pending_deps),
+                )
             txn.wake_tick = self.tick + 1
             return False
         decision = self.scheduler.may_commit(txn)
@@ -340,7 +397,19 @@ class Engine:
             self._commit_order.append(txn.name)
             self._results[txn.name] = txn.live.result
             self._cut_levels[txn.name] = dict(txn.live.cut_levels)
-            self.metrics.record_commit(txn.name, self.tick - txn.arrival_tick)
+            self.metrics.record_commit(
+                txn.name, self.tick - txn.arrival_tick, waited=txn.waits
+            )
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(
+                    "txn.commit",
+                    self.tick,
+                    txn=txn.name,
+                    attempt=txn.attempt,
+                    latency=self.tick - txn.arrival_tick,
+                    waits=txn.waits,
+                )
             self.scheduler.on_commit(txn)
             return True
         if decision.action is Action.ABORT:
@@ -351,6 +420,15 @@ class Engine:
             )
             return True
         self.metrics.commit_waits += 1
+        txn.waits += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "txn.commit-wait",
+                self.tick,
+                txn=txn.name,
+                reason=decision.reason,
+            )
         txn.wake_tick = self.tick + 1
         return False
 
@@ -387,7 +465,10 @@ class Engine:
         from repro.engine.rollback import cascade_closure
 
         return cascade_closure(
-            [(entry.key, entry.record) for entry in self._log], seeds
+            [(entry.key, entry.record) for entry in self._log],
+            seeds,
+            tracer=self.tracer,
+            at=self.tick,
         )
 
     def _abort(
@@ -415,11 +496,33 @@ class Engine:
                     f"the cascade of {sorted(seeds)} ({reason})"
                 )
         self.metrics.record_cascade(len(cascade))
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "txn.abort",
+                self.tick,
+                victims=sorted(name for name, _ in seeds),
+                cascade=sorted(
+                    name for name, _ in cascade - seeds
+                ),
+                reason=reason,
+                chain=len(cascade),
+            )
         # Undo every cascading write, newest first.
         for entry in reversed(self._log):
             if entry.key in cascade and entry.record.kind is not StepKind.READ:
                 self.store.restore(entry.record.entity, entry.record.value_before)
                 self.metrics.steps_undone += 1
+                if tr.enabled:
+                    tr.emit(
+                        "step.undo",
+                        self.tick,
+                        txn=entry.key[0],
+                        attempt=entry.key[1],
+                        step=entry.record.step.index,
+                        entity=entry.record.entity,
+                        restored=entry.record.value_before,
+                    )
         self._log = [e for e in self._log if e.key not in cascade]
         # Recompute last uncommitted writers from the surviving log.
         self._last_writer = {}
@@ -443,6 +546,14 @@ class Engine:
             )
             self.metrics.aborts += 1
             self.metrics.restarts += 1
+            if tr.enabled:
+                tr.emit(
+                    "txn.restart",
+                    self.tick,
+                    txn=name,
+                    attempt=txn.attempt,
+                    wake=txn.wake_tick,
+                )
 
     # ------------------------------------------------------------------
     # segment-unit recovery (the paper's intermediate recovery unit)
@@ -471,6 +582,7 @@ class Engine:
         cascade at *record* granularity: any access after an undone write
         is itself invalidated back to its own segment boundary."""
         infinity = 1 << 60
+        tr = self.tracer
         invalid: dict[tuple[str, int], int] = {}
         for name in victim_names:
             txn = self.txns[name]
@@ -489,14 +601,16 @@ class Engine:
             if invalid[key] > 0 and txn.rollbacks and txn.rollbacks % 8 == 0:
                 invalid[key] = 0
 
+        seed_keys = set(invalid)
         changed = True
         while changed:
             changed = False
             per_entity: dict[str, list[_LogEntry]] = {}
             for entry in self._log:
                 per_entity.setdefault(entry.record.entity, []).append(entry)
-            for entries in per_entity.values():
+            for entity, entries in per_entity.items():
                 tainted = False
+                tainter: tuple[str, int] | None = None
                 for entry in entries:
                     undone = (
                         entry.key in invalid
@@ -515,10 +629,33 @@ class Engine:
                         invalid[entry.key] = min(current, point)
                         changed = True
                         undone = True
+                        if tr.enabled and tainter is not None:
+                            tr.emit(
+                                "cascade.join",
+                                self.tick,
+                                entity=entity,
+                                txn=entry.key[0],
+                                txn_attempt=entry.key[1],
+                                cause=tainter[0],
+                                cause_attempt=tainter[1],
+                            )
                     if undone and entry.record.kind is not StepKind.READ:
                         tainted = True
+                        tainter = entry.key
 
         self.metrics.record_cascade(len(invalid))
+        if tr.enabled:
+            tr.emit(
+                "txn.abort",
+                self.tick,
+                victims=sorted(name for name, _ in seed_keys),
+                cascade=sorted(
+                    name for name, _ in set(invalid) - seed_keys
+                ),
+                reason=reason,
+                chain=len(invalid),
+                unit="segment",
+            )
         # Undo invalidated writes, newest first.
         for entry in reversed(self._log):
             if (
@@ -530,6 +667,16 @@ class Engine:
                     entry.record.entity, entry.record.value_before
                 )
                 self.metrics.steps_undone += 1
+                if tr.enabled:
+                    tr.emit(
+                        "step.undo",
+                        self.tick,
+                        txn=entry.key[0],
+                        attempt=entry.key[1],
+                        step=entry.record.step.index,
+                        entity=entry.record.entity,
+                        restored=entry.record.value_before,
+                    )
         self._log = [
             e
             for e in self._log
@@ -559,6 +706,23 @@ class Engine:
             txn.wake_tick = self.tick + self.rng.randint(
                 1, self.backoff * min(txn.rollbacks, 64)
             )
+            if tr.enabled:
+                if keep == 0:
+                    tr.emit(
+                        "txn.restart",
+                        self.tick,
+                        txn=name,
+                        attempt=txn.attempt,
+                        wake=txn.wake_tick,
+                    )
+                else:
+                    tr.emit(
+                        "txn.partial-rollback",
+                        self.tick,
+                        txn=name,
+                        keep=keep,
+                        wake=txn.wake_tick,
+                    )
 
     def _recompute_dependencies(self) -> None:
         """Rebuild last-writer tracking and all active attempts' commit

@@ -48,4 +48,16 @@ def certify_commit(scheduler, txn) -> Decision:
         (engine.txns[name] for name in owners),
         key=lambda t: (t.priority, t.name),
     )
+    tracer = engine.tracer
+    if tracer.enabled:
+        tracer.emit(
+            "cycle.detect",
+            engine.tick,
+            witness=[str(step) for step in result.cycle or ()],
+            victim=victim.name,
+            txns=sorted(
+                step.transaction for step in result.cycle or ()
+            ),
+            when="commit-certify",
+        )
     return Decision.abort([victim.name], "commit-time certification")

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.runtime import Engine, TxnState
     from repro.model.programs import Access
@@ -87,8 +89,21 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def attach(self, engine: "Engine") -> None:
-        """Called once by the engine before the run starts."""
+        """Called once by the engine before the run starts.
+
+        Wires the engine's flight recorder into the scheduler's closure
+        window, if it has one (the window has no engine reference of its
+        own, so the tracer and logical clock are injected here)."""
         self.engine = engine
+        window = getattr(self, "window", None)
+        if window is not None:
+            window.tracer = engine.tracer
+            window.clock = lambda: engine.tick
+
+    @property
+    def tracer(self) -> Tracer:
+        """The attached engine's flight recorder (null before attach)."""
+        return self.engine.tracer if self.engine is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # decision points

@@ -77,6 +77,16 @@ class MLADetectScheduler(Scheduler):
         self.engine.metrics.closure_checks += 1
         self.engine.metrics.closure_edges_added += result.edges_added
         self.window.sync_metrics(self.engine.metrics)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "closure.check",
+                self.engine.tick,
+                txn=txn.name,
+                step=record.step.index,
+                acyclic=result.is_partial_order,
+                edges_added=result.edges_added,
+            )
         if result.is_partial_order:
             return None
         self.engine.metrics.cycles_detected += 1
@@ -118,6 +128,21 @@ class MLADetectScheduler(Scheduler):
             and owner in self.engine.txns
             and not self.engine.txns[owner].committed
         ]
+        if tr.enabled:
+            tr.emit(
+                "cycle.detect",
+                self.engine.tick,
+                witness=[str(step) for step in result.cycle or ()],
+                victim=victim.name,
+                txns=sorted(cycle_names),
+            )
+            if self._parked[victim.name]:
+                tr.emit(
+                    "park",
+                    self.engine.tick,
+                    txn=victim.name,
+                    behind=[entry[0] for entry in self._parked[victim.name]],
+                )
         return Decision.abort([victim.name], "closure cycle", points=points)
 
     def may_commit(self, txn) -> Decision:

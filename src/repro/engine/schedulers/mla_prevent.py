@@ -115,13 +115,31 @@ class MLAPreventScheduler(Scheduler):
             )
             if not self.locks.try_acquire(txn.name, access.entity, mode):
                 cycle = self.locks.deadlock_cycle()
+                tr = self.tracer
                 if cycle:
                     states = [self.engine.txns[n] for n in cycle]
                     victim = max(states, key=lambda t: (t.priority, t.name))
                     self.engine.metrics.deadlocks += 1
+                    if tr.enabled:
+                        tr.emit(
+                            "deadlock",
+                            self.engine.tick,
+                            cycle=list(cycle),
+                            victim=victim.name,
+                            cause="lock",
+                        )
                     return Decision.abort([victim.name], "lock deadlock")
+                if tr.enabled:
+                    tr.emit(
+                        "lock.wait",
+                        self.engine.tick,
+                        txn=txn.name,
+                        entity=access.entity,
+                        mode=mode,
+                    )
                 return Decision.wait(f"scheduled: lock on {access.entity!r}")
         blockers = self._breakpoint_blockers(txn, access)
+        tr = self.tracer
         if blockers:
             self._waiting_on[txn.name] = blockers
             cycle = self._wait_cycle()
@@ -129,7 +147,22 @@ class MLAPreventScheduler(Scheduler):
                 states = [self.engine.txns[n] for n in cycle]
                 victim = max(states, key=lambda t: (t.priority, t.name))
                 self.engine.metrics.deadlocks += 1
+                if tr.enabled:
+                    tr.emit(
+                        "deadlock",
+                        self.engine.tick,
+                        cycle=list(cycle),
+                        victim=victim.name,
+                        cause="breakpoint-wait",
+                    )
                 return Decision.abort([victim.name], "breakpoint-wait cycle")
+            if tr.enabled:
+                tr.emit(
+                    "breakpoint.wait",
+                    self.engine.tick,
+                    txn=txn.name,
+                    blockers=sorted(blockers),
+                )
             return Decision.wait(
                 f"waiting for breakpoints of {sorted(blockers)}"
             )
@@ -162,10 +195,30 @@ class MLAPreventScheduler(Scheduler):
         )
         self.engine.metrics.closure_edges_added += result.edges_added
         self.window.sync_metrics(self.engine.metrics)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "closure.check",
+                self.engine.tick,
+                txn=txn.name,
+                step=record.step.index,
+                acyclic=result.is_partial_order,
+                edges_added=result.edges_added,
+            )
         if not result.is_partial_order:
             # Prevention should make this unreachable; treat it as a
             # detected cycle and recover rather than corrupt the run.
             self.engine.metrics.cycles_detected += 1
+            if tr.enabled:
+                tr.emit(
+                    "cycle.detect",
+                    self.engine.tick,
+                    witness=[str(step) for step in result.cycle or ()],
+                    victim=txn.name,
+                    txns=sorted(
+                        step.transaction for step in result.cycle or ()
+                    ),
+                )
             return Decision.abort([txn.name], "prevention miss")
         return None
 

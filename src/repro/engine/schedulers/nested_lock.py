@@ -109,6 +109,7 @@ class NestedLockScheduler(Scheduler):
     def on_request(self, txn, access) -> Decision:
         assert self.engine is not None
         blockers = self._blockers(txn, access.entity)
+        tr = self.tracer
         if blockers:
             self._waiting_on[txn.name] = blockers
             graph = nx.DiGraph()
@@ -118,12 +119,28 @@ class NestedLockScheduler(Scheduler):
             try:
                 cycle = [u for u, _ in nx.find_cycle(graph)]
             except nx.NetworkXNoCycle:
+                if tr.enabled:
+                    tr.emit(
+                        "retention.wait",
+                        self.engine.tick,
+                        txn=txn.name,
+                        entity=access.entity,
+                        holders=sorted(blockers),
+                    )
                 return Decision.wait(
                     f"{access.entity!r} retained by {sorted(blockers)}"
                 )
             states = [self.engine.txns[name] for name in cycle]
             victim = max(states, key=lambda t: (t.priority, t.name))
             self.engine.metrics.deadlocks += 1
+            if tr.enabled:
+                tr.emit(
+                    "deadlock",
+                    self.engine.tick,
+                    cycle=list(cycle),
+                    victim=victim.name,
+                    cause="retention",
+                )
             return Decision.abort([victim.name], "retention deadlock")
         self._waiting_on.pop(txn.name, None)
         return Decision.perform()
@@ -158,6 +175,15 @@ class NestedLockScheduler(Scheduler):
             (self.engine.txns[name] for name in victims),
             key=lambda t: (t.priority, t.name),
         )
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "certify.fail",
+                self.engine.tick,
+                witness=[str(step) for step in result.cycle or ()],
+                victim=victim.name,
+                when="step",
+            )
         return Decision.abort([victim.name], "certification failure")
 
     def may_commit(self, txn) -> Decision:

@@ -48,17 +48,33 @@ class TimestampScheduler(Scheduler):
             self._ts[key] = self.engine.next_timestamp()
         return self._ts[key]
 
+    def _conflict(self, txn, access, ts: int, marks: _Marks) -> None:
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "ts.conflict",
+                self.engine.tick if self.engine is not None else 0,
+                txn=txn.name,
+                entity=access.entity,
+                ts=ts,
+                read_ts=marks.read_ts,
+                write_ts=marks.write_ts,
+                victim=txn.name,
+            )
+
     def on_request(self, txn, access) -> Decision:
         ts = self._timestamp(txn)
         marks = self._marks.setdefault(access.entity, _Marks())
         if access.kind is StepKind.READ and self.conflicts == "rw":
             if ts < marks.write_ts:
+                self._conflict(txn, access, ts, marks)
                 return Decision.abort(
                     [txn.name], f"read of {access.entity!r} too late"
                 )
             marks.read_ts = max(marks.read_ts, ts)
             return Decision.perform()
         if ts < marks.read_ts or ts < marks.write_ts:
+            self._conflict(txn, access, ts, marks)
             return Decision.abort(
                 [txn.name], f"write of {access.entity!r} too late"
             )

@@ -40,7 +40,16 @@ class TwoPhaseLockingScheduler(Scheduler):
             if self.shared_reads and access.kind is StepKind.READ
             else LockMode.EXCLUSIVE
         )
+        tr = self.tracer
         if self.locks.try_acquire(txn.name, access.entity, mode):
+            if tr.enabled:
+                tr.emit(
+                    "lock.acquire",
+                    self.engine.tick if self.engine is not None else 0,
+                    txn=txn.name,
+                    entity=access.entity,
+                    mode=mode,
+                )
             return Decision.perform()
         cycle = self.locks.deadlock_cycle()
         if cycle:
@@ -48,14 +57,42 @@ class TwoPhaseLockingScheduler(Scheduler):
             states = [self.engine.txns[name] for name in cycle]
             victim = max(states, key=lambda t: (t.priority, t.name))
             self.engine.metrics.deadlocks += 1
+            if tr.enabled:
+                tr.emit(
+                    "deadlock",
+                    self.engine.tick,
+                    cycle=list(cycle),
+                    victim=victim.name,
+                    cause="lock",
+                )
             return Decision.abort([victim.name], "2pl deadlock")
+        if tr.enabled:
+            tr.emit(
+                "lock.wait",
+                self.engine.tick if self.engine is not None else 0,
+                txn=txn.name,
+                entity=access.entity,
+                mode=mode,
+                holders=sorted(self.locks.holders(access.entity)),
+            )
         return Decision.wait(f"lock conflict on {access.entity!r}")
 
     def may_commit(self, txn) -> Decision:
         return Decision.perform()
 
+    def _release(self, txn) -> None:
+        released = self.locks.release_all(txn.name)
+        tr = self.tracer
+        if tr.enabled and released:
+            tr.emit(
+                "lock.release",
+                self.engine.tick if self.engine is not None else 0,
+                txn=txn.name,
+                entities=sorted(set(released)),
+            )
+
     def on_commit(self, txn) -> None:
-        self.locks.release_all(txn.name)
+        self._release(txn)
 
     def on_abort(self, txn) -> None:
-        self.locks.release_all(txn.name)
+        self._release(txn)

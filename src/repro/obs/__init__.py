@@ -1,0 +1,60 @@
+"""Observability: the flight recorder for the engine and the
+distributed runtime.
+
+* :mod:`repro.obs.events` — the typed event taxonomy and the JSONL wire
+  format (emit -> dump -> parse round-trips).
+* :mod:`repro.obs.tracer` — sinks: the allocation-free null tracer (the
+  default everywhere), a bounded in-memory ring, a JSONL stream.
+* :mod:`repro.obs.histogram` — the fixed-bucket latency histogram
+  backing ``Metrics`` percentiles.
+* :mod:`repro.obs.introspect` — on-demand wait-for-graph and
+  closure-frontier snapshots of live components.
+* :mod:`repro.obs.explain` — timeline playback and abort cause-chain
+  reconstruction from an event stream alone.
+
+Design rule: tracing must be *behaviour-invariant*.  Emission never
+consumes engine or network randomness and never mutates traced state,
+so a traced run commits the same order with the same metrics as an
+untraced one (asserted by the differential tests in ``tests/obs``).
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_TAXONOMY,
+    Event,
+    dump_jsonl,
+    event_from_dict,
+    event_to_dict,
+    load_jsonl,
+)
+from repro.obs.explain import aborted_transactions, explain_abort, format_timeline
+from repro.obs.histogram import Histogram
+from repro.obs.introspect import closure_frontier, wait_for_snapshot
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingTracer,
+    StreamTracer,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_TAXONOMY",
+    "Event",
+    "Histogram",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingTracer",
+    "StreamTracer",
+    "Tracer",
+    "aborted_transactions",
+    "closure_frontier",
+    "dump_jsonl",
+    "event_from_dict",
+    "event_to_dict",
+    "explain_abort",
+    "format_timeline",
+    "load_jsonl",
+    "wait_for_snapshot",
+]

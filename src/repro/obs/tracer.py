@@ -1,0 +1,115 @@
+"""Tracers: where flight-recorder events go.
+
+The contract every instrumented call site follows::
+
+    tr = self.tracer
+    if tr.enabled:
+        tr.emit("step.perform", self.tick, txn=name, entity=entity)
+
+The guard is the whole disabled-mode cost: one attribute load and one
+branch per site, with no kwargs dict, no :class:`~repro.obs.events.Event`
+and no string formatting ever constructed.  :data:`NULL_TRACER` (the
+default everywhere) additionally makes ``emit`` a no-op, so even an
+unguarded call is safe — but guarded sites are the norm and the overhead
+budget (<3% disabled, asserted by the quick bench) assumes them.
+
+Sinks:
+
+* :class:`RingTracer` — bounded in-memory ring (``collections.deque``);
+  the default for interactive use and tests.  ``capacity=None`` keeps
+  everything.
+* :class:`StreamTracer` — append-only JSONL stream for recordings that
+  outlive the process (or exceed memory).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Any
+
+from repro.obs.events import Event, event_to_dict
+
+__all__ = ["NULL_TRACER", "NullTracer", "RingTracer", "StreamTracer", "Tracer"]
+
+
+class Tracer:
+    """Interface: ``enabled`` gates emission; ``emit`` records one event."""
+
+    enabled: bool = True
+
+    def emit(self, kind: str, at: float, /, **data: Any) -> None:
+        raise NotImplementedError
+
+    def events(self) -> list[Event]:
+        """Recorded events, oldest first (empty for write-only sinks)."""
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: never records, never allocates."""
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, kind: str, at: float, /, **data: Any) -> None:
+        pass
+
+
+#: Shared disabled tracer — the default for every instrumented component.
+NULL_TRACER = NullTracer()
+
+
+class RingTracer(Tracer):
+    """Keep the last ``capacity`` events in memory (all, when ``None``)."""
+
+    __slots__ = ("_events", "dropped")
+    enabled = True
+
+    def __init__(self, capacity: int | None = 65536) -> None:
+        self._events: deque[Event] = deque(maxlen=capacity)
+        #: Events evicted by the ring bound (recordings must not silently
+        #: truncate: analysis checks this before claiming completeness).
+        self.dropped = 0
+
+    def emit(self, kind: str, at: float, /, **data: Any) -> None:
+        ring = self._events
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(Event(kind, at, data))
+
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class StreamTracer(Tracer):
+    """Write each event as one JSONL line the moment it is emitted."""
+
+    __slots__ = ("_handle", "_owns", "written")
+    enabled = True
+
+    def __init__(self, sink: str | IO[str]) -> None:
+        if isinstance(sink, str):
+            self._handle: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._handle = sink
+            self._owns = False
+        self.written = 0
+
+    def emit(self, kind: str, at: float, /, **data: Any) -> None:
+        payload = event_to_dict(Event(kind, at, data))
+        self._handle.write(json.dumps(payload, sort_keys=True))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._handle.close()

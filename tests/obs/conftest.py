@@ -1,0 +1,37 @@
+"""Shared fixtures for the flight-recorder tests.
+
+A small banking workload with enough contention to exercise waits,
+aborts and cascades, plus a scheduler zoo covering every concurrency
+control the recorder instruments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    MLADetectScheduler,
+    MLAPreventScheduler,
+    NestedLockScheduler,
+    SerialScheduler,
+    TimestampScheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+@pytest.fixture(scope="package")
+def bank() -> BankingWorkload:
+    return BankingWorkload(BankingConfig(
+        families=2, transfers=6, bank_audits=1, creditor_audits=1, seed=7
+    ))
+
+
+SCHEDULER_ZOO = {
+    "serial": lambda nest: SerialScheduler(),
+    "2pl": lambda nest: TwoPhaseLockingScheduler(),
+    "timestamp": lambda nest: TimestampScheduler(),
+    "mla-detect": lambda nest: MLADetectScheduler(nest),
+    "mla-prevent": lambda nest: MLAPreventScheduler(nest),
+    "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
+}

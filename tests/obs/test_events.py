@@ -1,0 +1,98 @@
+"""Event schema: taxonomy closure, JSONL wire format, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.obs import (
+    EVENT_KINDS,
+    EVENT_TAXONOMY,
+    Event,
+    dump_jsonl,
+    event_from_dict,
+    event_to_dict,
+    load_jsonl,
+)
+
+
+class TestTaxonomy:
+    def test_kinds_union_of_layers(self):
+        assert EVENT_KINDS == {
+            kind for kinds in EVENT_TAXONOMY.values() for kind in kinds
+        }
+
+    def test_no_duplicate_kinds_across_layers(self):
+        total = sum(len(kinds) for kinds in EVENT_TAXONOMY.values())
+        assert total == len(EVENT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown event kind"):
+            Event("txn.levitate", 0.0)
+
+    def test_every_kind_constructs(self):
+        for kind in EVENT_KINDS:
+            assert Event(kind, 1.0).kind == kind
+
+
+class TestWireFormat:
+    def test_dict_round_trip_preserves_payload(self):
+        event = Event("txn.commit", 12, {"txn": "t0", "latency": 5})
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_jsonify_degrades_exotic_values(self):
+        event = Event("txn.abort", 3, {
+            "victims": ("t1", "t2"),           # tuple -> list
+            "points": {"t1": 2},               # mapping preserved
+            "tags": {"b", "a"},                # set -> sorted list
+            "opaque": object(),                # last resort: repr
+        })
+        data = event_to_dict(event)["data"]
+        assert data["victims"] == ["t1", "t2"]
+        assert data["points"] == {"t1": 2}
+        assert data["tags"] == ["'a'", "'b'"] or data["tags"] == ["a", "b"]
+        assert isinstance(data["opaque"], str)
+        # The whole payload must be JSON-serialisable after degradation.
+        json.dumps(event_to_dict(event))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = [
+            Event("step.perform", 1, {"txn": "t0", "entity": "A"}),
+            Event("cycle.detect", 2, {"witness": ["t0[0]", "t1[0]"]}),
+            Event("txn.abort", 2, {"victims": ["t1"], "reason": "cycle"}),
+            Event("msg.send", 2.5, {"kind": "grant", "target": "node1"}),
+        ]
+        path = str(tmp_path / "trace.jsonl")
+        assert dump_jsonl(events, path) == len(events)
+        parsed = load_jsonl(path)
+        assert parsed == events
+
+    def test_jsonl_is_line_delimited_and_greppable(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl([Event("txn.commit", 9, {"txn": "t3"})], path)
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "txn.commit"
+        assert record["at"] == 9
+        assert record["data"] == {"txn": "t3"}
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "txn.commit", "at": 1, "data": {}}\n')
+            handle.write("\n")
+            handle.write('{"kind": "txn.abort", "at": 2, "data": {}}\n')
+        assert [e.kind for e in load_jsonl(path)] == [
+            "txn.commit", "txn.abort",
+        ]
+
+    def test_loaded_unknown_kind_rejected(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "bogus.kind", "at": 1, "data": {}}\n')
+        with pytest.raises(SpecificationError):
+            load_jsonl(path)

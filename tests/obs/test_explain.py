@@ -1,0 +1,126 @@
+"""Abort explanations reconstructed from the event stream alone.
+
+Acceptance criterion for the flight recorder: for an E3 rollback
+scenario (the hot same-family workload of ``bench_e3_rollbacks``), the
+full cause chain of an abort — trigger cycle with witness, and for
+cascade victims the dirty-entity link back to the seed victim — must be
+reproducible from ``list[Event]`` with no live objects in sight.  The
+tests dump/reload the recording through JSONL to prove it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KNest
+from repro.engine import MLADetectScheduler
+from repro.obs import (
+    RingTracer,
+    aborted_transactions,
+    dump_jsonl,
+    explain_abort,
+    format_timeline,
+    load_jsonl,
+)
+from repro.workloads import BankingConfig, BankingWorkload
+
+
+def _e3_workload() -> BankingWorkload:
+    # The contention regime of benchmarks/bench_e3_rollbacks.py at its
+    # hottest point (one account per family, all-intra-family).
+    return BankingWorkload(BankingConfig(
+        families=2,
+        accounts_per_family=1,
+        transfers=8,
+        intra_family_ratio=1.0,
+        bank_audits=0,
+        creditor_audits=0,
+        seed=3,
+    ))
+
+
+@pytest.fixture(scope="module")
+def e3_events(tmp_path_factory):
+    """Events of the E3 flat-nest (strict-serializability) run at seed 0,
+    round-tripped through JSONL so the explanation provably needs only
+    the recording."""
+    bank = _e3_workload()
+    flat = KNest.flat([p.name for p in bank.programs])
+    tracer = RingTracer(capacity=None)
+    result = bank.engine(
+        MLADetectScheduler(flat), seed=0, tracer=tracer
+    ).run()
+    assert result.metrics.aborts > 0, "E3 hot run must roll back"
+    path = str(tmp_path_factory.mktemp("e3") / "trace.jsonl")
+    dump_jsonl(tracer.events(), path)
+    return load_jsonl(path)
+
+
+class TestE3AbortExplanation:
+    def test_victims_enumerated(self, e3_events):
+        victims = aborted_transactions(e3_events)
+        assert victims, "no abort victims in an aborting run"
+        assert all(name.startswith("t") for name in victims)
+
+    def test_seed_victim_chain(self, e3_events):
+        """A directly-aborted transaction's explanation names the abort
+        tick, the reason, and the closure cycle witness that caused it."""
+        explained = 0
+        for name in aborted_transactions(e3_events):
+            lines = explain_abort(e3_events, name)
+            assert lines, f"no explanation for recorded victim {name}"
+            if "aborted at t=" not in lines[0]:
+                continue  # cascade victim; covered below
+            explained += 1
+            assert "closure cycle" in lines[0]
+            assert len(lines) >= 2
+            assert "trigger: cycle.detect" in lines[1]
+            assert "witness" in lines[1]
+            assert " -> " in lines[1]
+        assert explained > 0, "no seed victim found to explain"
+
+    def test_cascade_chain_reaches_seed(self, e3_events):
+        """A cascade victim's chain walks dirty-entity links back to a
+        seed victim whose trigger cycle is then shown."""
+        cascaded = [
+            e.data["txn"]
+            for e in e3_events
+            if e.kind == "cascade.join"
+        ]
+        assert cascaded, "E3 hot run produced no cascades"
+        chained = 0
+        for name in dict.fromkeys(cascaded):
+            lines = explain_abort(e3_events, name)
+            if not lines or "cascaded at t=" not in lines[0]:
+                continue
+            chained += 1
+            assert "after a rolled-back write by" in lines[0]
+            # The chain must terminate at a seed victim with its trigger.
+            assert any("trigger:" in line for line in lines), (
+                f"cascade chain for {name} never reached a trigger:\n"
+                + "\n".join(lines)
+            )
+        assert chained > 0, "no cascade victim explanation exercised"
+
+    def test_unknown_transaction_yields_nothing(self, e3_events):
+        assert explain_abort(e3_events, "ghost") == []
+
+
+class TestTimeline:
+    def test_groups_by_tick(self, e3_events):
+        lines = format_timeline(e3_events)
+        headers = [line for line in lines if line.startswith("t=")]
+        bodies = [line for line in lines if line.startswith("  ")]
+        assert len(bodies) == len(e3_events)
+        assert len(headers) >= 2
+        ticks = [float(h[2:]) for h in headers]
+        assert ticks == sorted(ticks)
+
+    def test_limit_keeps_tail(self, e3_events):
+        lines = format_timeline(e3_events, limit=10)
+        assert sum(1 for line in lines if line.startswith("  ")) == 10
+        full = format_timeline(e3_events)
+        assert lines[-1] == full[-1]
+
+    def test_zero_limit(self, e3_events):
+        assert format_timeline(e3_events, limit=0) == []

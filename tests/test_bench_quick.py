@@ -35,6 +35,16 @@ def test_quick_bench_smoke():
     assert set(data["timings_ms"]["e14_fault_smoke"]) == {
         "none", "2pl", "mla-prevent",
     }
+    # The flight-recorder smoke must have traced every scheduler and
+    # stayed inside the disabled-tracer overhead budget (behaviour
+    # invariance and the JSONL round-trip are asserted in the runner).
+    trace = data["trace"]
+    assert set(trace["events_per_run"]) == {
+        "serial", "2pl", "timestamp",
+        "mla-detect", "mla-prevent", "mla-nested-lock",
+    }
+    assert all(count > 0 for count in trace["events_per_run"].values())
+    assert trace["disabled_overhead_worst_pct"] < 3.0
     for key, factor in data["speedup_vs_seed"].items():
         if factor < 1.0:
             warnings.warn(

@@ -44,6 +44,41 @@ class TestRun:
         ]) == 0
 
 
+class TestTrace:
+    def test_trace_prints_timeline(self, capsys):
+        assert main([
+            "trace", "--workload", "banking", "--transfers", "4",
+            "--families", "2", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert "events over" in out
+        assert "t=" in out  # per-tick timeline headers
+
+    def test_trace_dumps_jsonl_and_explains(self, capsys, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "trace", "--workload", "banking", "--transfers", "4",
+            "--seed", "1", "--out", path, "--limit", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and path in out
+        events = load_jsonl(path)
+        assert events
+        # The run either explains an abort or states there were none.
+        assert ("why did" in out) or ("no aborts in this run" in out)
+
+    def test_trace_explain_unknown_txn(self, capsys):
+        assert main([
+            "trace", "--transfers", "3", "--families", "2",
+            "--explain", "ghost",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no abort of 'ghost'" in out
+
+
 class TestSweepAndAdmission:
     def test_sweep_table(self, capsys):
         assert main(["sweep", "--transfers", "3", "--families", "2"]) == 0
