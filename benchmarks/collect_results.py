@@ -9,15 +9,24 @@ Usage: ``python benchmarks/collect_results.py`` (after running
 
 ``python benchmarks/collect_results.py --quick`` instead runs a reduced
 smoke workload (E1 at <=400 steps, E10 at <=120 steps, plus the E14
-distributed fault smoke and the flight-recorder trace smoke) against the
-seed baselines and writes ``BENCH_PR2.json`` at the repository root —
-correctness is asserted, timings are recorded with speedup factors.
+distributed fault smoke, the flight-recorder trace smoke and the
+metrics-plane obs smoke) against the seed baselines and writes
+``BENCH.json`` at the repository root — correctness is asserted, timings
+are recorded with speedup factors, and every run appends a ``history``
+entry (git SHA + date + timings) so slowdowns against the *previous* run
+are surfaced as warnings.
 
 The trace smoke records one small banking run per scheduler, asserts the
 traced run is behaviour-identical to the untraced one (same metrics,
 same commit order), round-trips the recording through JSONL, and
 measures the disabled-tracer guard overhead on the E1 quick workload
 (asserted < 3%).
+
+The obs smoke does the same for the metrics plane: one registry- and
+profiler-instrumented banking run per scheduler, asserted
+behaviour-identical to the bare run, with the *enabled* overhead
+estimated analytically (measured primitive costs times the run's actual
+instrumentation traffic; asserted < 5%).
 """
 
 from __future__ import annotations
@@ -31,7 +40,10 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 RESULTS = os.path.join(HERE, "results")
 TARGET = os.path.join(HERE, os.pardir, "EXPERIMENTS.md")
-QUICK_TARGET = os.path.join(HERE, os.pardir, "BENCH_PR2.json")
+QUICK_TARGET = os.path.join(HERE, os.pardir, "BENCH.json")
+#: The PR 2 artefact stays the authoritative source of the seed-revision
+#: baselines; the inlined table below is only its fallback copy.
+SEED_BASELINE_SOURCE = os.path.join(HERE, os.pardir, "BENCH_PR2.json")
 
 #: Seed-revision timings (ms) from benchmarks/results/*.md before the
 #: incremental reachability core landed, at the quick-mode sizes.
@@ -42,6 +54,26 @@ SEED_BASELINES_MS = {
     "e10_incremental": {"40": 20.0, "120": 194.0},
     "e10_incremental+prune": {"40": 17.0, "120": 103.0},
 }
+
+#: A quick-mode timing is flagged when it runs this much slower than the
+#: same measurement in the previous ``BENCH.json`` run.
+REGRESSION_FACTOR = 1.5
+#: History entries kept in ``BENCH.json`` (oldest dropped first).
+HISTORY_LIMIT = 100
+
+
+def seed_baselines() -> dict:
+    """The seed-revision timings, read from ``BENCH_PR2.json`` when the
+    artefact is present, else the inlined fallback copy."""
+    try:
+        with open(SEED_BASELINE_SOURCE, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return SEED_BASELINES_MS
+    baselines = data.get("seed_baselines_ms")
+    if isinstance(baselines, dict) and baselines:
+        return baselines
+    return SEED_BASELINES_MS
 
 ORDER = [
     "x_paper_examples",
@@ -102,6 +134,29 @@ Regenerate everything with::
 #: Disabled-tracer overhead budget, in percent of run time (ISSUE 4).
 TRACE_OVERHEAD_BUDGET_PCT = 3.0
 
+#: Enabled metrics-plane overhead budget, in percent of run time (PR 5).
+OBS_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def _scheduler_zoo() -> dict:
+    from repro.engine import (
+        MLADetectScheduler,
+        MLAPreventScheduler,
+        NestedLockScheduler,
+        SerialScheduler,
+        TimestampScheduler,
+        TwoPhaseLockingScheduler,
+    )
+
+    return {
+        "serial": lambda nest: SerialScheduler(),
+        "2pl": lambda nest: TwoPhaseLockingScheduler(),
+        "timestamp": lambda nest: TimestampScheduler(),
+        "mla-detect": lambda nest: MLADetectScheduler(nest),
+        "mla-prevent": lambda nest: MLAPreventScheduler(nest),
+        "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
+    }
+
 
 def trace_smoke() -> dict:
     """Flight-recorder smoke: record one small banking run per
@@ -117,15 +172,6 @@ def trace_smoke() -> dict:
     import tempfile
     import timeit
 
-    from repro.core.nests import KNest
-    from repro.engine import (
-        MLADetectScheduler,
-        MLAPreventScheduler,
-        NestedLockScheduler,
-        SerialScheduler,
-        TimestampScheduler,
-        TwoPhaseLockingScheduler,
-    )
     from repro.obs import EVENT_KINDS, NULL_TRACER, RingTracer, dump_jsonl, load_jsonl
     from repro.workloads import BankingConfig, BankingWorkload
 
@@ -133,14 +179,7 @@ def trace_smoke() -> dict:
         BankingConfig(families=2, transfers=6, bank_audits=1,
                       creditor_audits=1, seed=7)
     )
-    zoo = {
-        "serial": lambda nest: SerialScheduler(),
-        "2pl": lambda nest: TwoPhaseLockingScheduler(),
-        "timestamp": lambda nest: TimestampScheduler(),
-        "mla-detect": lambda nest: MLADetectScheduler(nest),
-        "mla-prevent": lambda nest: MLAPreventScheduler(nest),
-        "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
-    }
+    zoo = _scheduler_zoo()
     events_per_run: dict[str, int] = {}
     untraced_seconds: dict[str, float] = {}
     for name, factory in zoo.items():
@@ -213,6 +252,148 @@ def trace_smoke() -> dict:
     }
 
 
+def obs_smoke() -> dict:
+    """Metrics-plane smoke: one registry- and profiler-instrumented
+    banking run per scheduler, asserted behaviour-identical to the bare
+    run, plus an analytic estimate of the *enabled* overhead.
+
+    Wall-clock A/B comparisons of whole runs are too noisy for a CI
+    gate, so the honest number is analytic: the measured cost of each
+    enabled primitive (pre-bound counter inc, histogram observe, phase
+    span) times the number of times the run actually used it, as a
+    percentage of the bare run's wall time.
+
+    The budget is asserted on the *aggregate* across the scheduler zoo
+    (total instrumentation cost / total bare wall time).  Per-scheduler
+    percentages are reported for inspection but not gated: the serial
+    scheduler does near-zero work per tick, so a fixed per-span cost is
+    a large fraction of nothing — a denominator artefact, not a cost a
+    realistic run pays.
+    """
+    import timeit
+
+    from repro.obs import MetricsRegistry, PhaseProfiler, prometheus_text
+    from repro.workloads import BankingConfig, BankingWorkload
+
+    workload = BankingWorkload(
+        BankingConfig(families=2, transfers=6, bank_audits=1,
+                      creditor_audits=1, seed=7)
+    )
+    work: dict[str, dict[str, int]] = {}
+    bare_seconds: dict[str, float] = {}
+    for name, factory in _scheduler_zoo().items():
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler()
+        instrumented = workload.engine(
+            factory(workload.nest), seed=7,
+            registry=registry, profiler=profiler,
+        ).run()
+        # Best-of-3 bare timing: the min is the least noise-inflated
+        # estimate of the true cost, and a *smaller* denominator only
+        # makes the overhead gate stricter.
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            bare = workload.engine(factory(workload.nest), seed=7).run()
+            samples.append(time.perf_counter() - start)
+        bare_seconds[name] = min(samples)
+        assert instrumented.commit_order == bare.commit_order, (
+            f"obs smoke: commit order diverged under metrics ({name})"
+        )
+        instrumented_summary = instrumented.metrics.summary()
+        bare_summary = bare.metrics.summary()
+        # closure_seconds is wall-clock, inherently run-to-run noisy.
+        instrumented_summary.pop("closure_seconds")
+        bare_summary.pop("closure_seconds")
+        assert instrumented_summary == bare_summary, (
+            f"obs smoke: metrics diverged under instrumentation ({name})"
+        )
+        # The registry must agree with the engine's own counters.
+        assert registry.value(
+            "repro_commits_total", scheduler=name
+        ) == bare.metrics.commits, (
+            f"obs smoke: registry commit count wrong ({name})"
+        )
+        assert "repro_commits_total" in prometheus_text(registry)
+        counter_incs = 0
+        hist_observes = 0
+        for family in registry.families():
+            for _values, child in family.series():
+                if family.kind == "counter":
+                    counter_incs += int(child.value)
+                elif family.kind == "gauge":
+                    counter_incs += 1
+                else:
+                    hist_observes += child.hist.count
+        work[name] = {
+            "counter_incs": counter_incs,
+            "hist_observes": hist_observes,
+            "phase_spans": int(sum(profiler.calls.values())),
+        }
+    # Enabled primitive micro-costs, net of empty-loop cost.  The inc is
+    # modelled as the hot sites pay it: one dict lookup plus the bound
+    # child's inc.
+    n = 100_000
+    registry = MetricsRegistry()
+    mx = {
+        "c": registry.counter(
+            "bench_total", labels=("scheduler",)
+        ).labels(scheduler="x"),
+    }
+    hist = registry.histogram(
+        "bench_hist", labels=("scheduler",)
+    ).labels(scheduler="x")
+    profiler = PhaseProfiler()
+    empty = timeit.timeit("pass", number=n)
+    inc_seconds = max(
+        timeit.timeit("mx['c'].inc()", globals={"mx": mx}, number=n) - empty,
+        0.0,
+    ) / n
+    observe_seconds = max(
+        timeit.timeit("h.observe(17)", globals={"h": hist}, number=n) - empty,
+        0.0,
+    ) / n
+    span_seconds = max(
+        timeit.timeit(
+            "\nwith p.phase('schedule'):\n    pass",
+            globals={"p": profiler},
+            number=n,
+        ) - empty,
+        0.0,
+    ) / n
+    def cost(counts: dict[str, int]) -> float:
+        return (
+            inc_seconds * counts["counter_incs"]
+            + observe_seconds * counts["hist_observes"]
+            + span_seconds * counts["phase_spans"]
+        )
+
+    overhead_pct = {
+        name: round(100.0 * cost(counts) / bare_seconds[name], 4)
+        for name, counts in work.items()
+        if bare_seconds[name] > 0
+    }
+    aggregate = round(
+        100.0
+        * sum(cost(counts) for counts in work.values())
+        / sum(bare_seconds.values()),
+        4,
+    )
+    assert aggregate < OBS_OVERHEAD_BUDGET_PCT, (
+        f"enabled metrics-plane overhead {aggregate}% (aggregate over the "
+        f"scheduler zoo) exceeds the {OBS_OVERHEAD_BUDGET_PCT}% budget"
+    )
+    return {
+        "instrumented_work": work,
+        "inc_ns": round(inc_seconds * 1e9, 2),
+        "observe_ns": round(observe_seconds * 1e9, 2),
+        "span_ns": round(span_seconds * 1e9, 2),
+        "enabled_overhead_pct": overhead_pct,
+        "enabled_overhead_aggregate_pct": aggregate,
+        "budget_pct": OBS_OVERHEAD_BUDGET_PCT,
+    }
+
+
 def run_quick(
     e1_sizes=(100, 400), e10_sizes=(40, 120)
 ) -> dict:
@@ -269,11 +450,12 @@ def run_quick(
         assert faulty.results == base.results, (
             f"E14 smoke results diverged under faults ({label})"
         )
+    baselines = seed_baselines()
     speedups = {
         f"{key}_{size}": round(base / timings[key][size], 2)
-        for key, sizes in SEED_BASELINES_MS.items()
+        for key, sizes in baselines.items()
         for size, base in sizes.items()
-        if size in timings[key] and timings[key][size] > 0
+        if key in timings and size in timings[key] and timings[key][size] > 0
     }
     return {
         "mode": "quick",
@@ -287,22 +469,91 @@ def run_quick(
             "trace": "flight-recorder smoke (one traced banking run per "
                      "scheduler: behaviour-invariance, JSONL round-trip, "
                      "disabled-guard overhead)",
+            "obs": "metrics-plane smoke (one instrumented banking run "
+                   "per scheduler: behaviour-invariance, registry "
+                   "agreement, enabled-overhead budget)",
         },
         "trace": trace_smoke(),
+        "obs": obs_smoke(),
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}
             for key, sizes in timings.items()
         },
-        "seed_baselines_ms": SEED_BASELINES_MS,
+        "seed_baselines_ms": baselines,
         "speedup_vs_seed": speedups,
     }
 
 
+def _git_sha() -> str:
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=HERE, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def _flatten_timings(timings: dict) -> dict[str, float]:
+    return {
+        f"{key}_{size}": ms
+        for key, sizes in timings.items()
+        for size, ms in sizes.items()
+    }
+
+
 def write_quick(path: str = QUICK_TARGET) -> dict:
+    """Run the quick benchmarks and write ``BENCH.json``: the current
+    results, a capped per-run ``history`` (git SHA + date + timings),
+    and ``regressions_vs_previous`` comparing against the last run."""
     data = run_quick()
+    history: list[dict] = []
+    previous: dict | None = None
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                old = json.load(handle)
+        except (OSError, ValueError):
+            old = None
+        if isinstance(old, dict):
+            history = [
+                entry for entry in old.get("history", [])
+                if isinstance(entry, dict)
+            ]
+            if history:
+                previous = history[-1]
+            elif isinstance(old.get("timings_ms"), dict):
+                previous = {"timings_ms": old["timings_ms"]}
+    regressions: list[str] = []
+    if previous is not None:
+        before = _flatten_timings(previous.get("timings_ms", {}))
+        now = _flatten_timings(data["timings_ms"])
+        for key in sorted(now):
+            prev_ms = before.get(key)
+            if prev_ms and prev_ms > 0 and now[key] > prev_ms * REGRESSION_FACTOR:
+                regressions.append(
+                    f"{key}: {now[key]:.2f} ms vs {prev_ms:.2f} ms last "
+                    f"run ({now[key] / prev_ms:.1f}x slower)"
+                )
+    data["regressions_vs_previous"] = regressions
+    history.append({
+        "sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "timings_ms": data["timings_ms"],
+    })
+    data["history"] = history[-HISTORY_LIMIT:]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    for message in regressions:
+        print(
+            f"WARNING: quick-bench regression vs previous run: {message}",
+            file=sys.stderr,
+        )
     return data
 
 
@@ -311,7 +562,8 @@ def main() -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="run the reduced smoke benchmarks and write BENCH_PR2.json",
+        help="run the reduced smoke benchmarks and write BENCH.json "
+             "(appending run history with regression warnings)",
     )
     if parser.parse_args().quick:
         data = write_quick()

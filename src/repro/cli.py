@@ -18,6 +18,18 @@ Commands
     Run a workload with the flight recorder on, print a per-tick event
     timeline and a "why did T abort" cause-chain explanation, and
     optionally dump the recording as JSONL.
+``metrics``
+    Run a workload with the metrics plane on and print the registry in
+    Prometheus text exposition (or a JSON snapshot).
+``spans``
+    Record a run and export it as Chrome trace-event JSON — per-attempt
+    causal spans with wait intervals, cascade flow links and network
+    message spans — loadable in Perfetto / ``chrome://tracing``.
+``top``
+    Live dashboard: drive the run in simulated tick batches (or
+    simulated-time slices with ``--distributed``) and redraw throughput,
+    abort rate, latency percentiles, phase-time bars and per-node
+    message counters after each batch.
 
 Everything is seeded and deterministic; pass ``--seed`` to vary.
 """
@@ -201,6 +213,246 @@ def cmd_trace(args) -> int:
     return 0
 
 
+#: ``--distributed`` maps these scheduler names to sequencer controls.
+DISTRIBUTED_CONTROLS = ("none", "2pl", "mla-prevent")
+
+
+def _initial_values(workload) -> dict:
+    values = getattr(workload, "accounts", None)
+    if values is None:
+        values = workload.entities
+    return values
+
+
+def _build_distributed(args, workload, **kwargs):
+    from repro.distributed.controller import (
+        DistributedLockControl,
+        DistributedPreventControl,
+        DistributedRuntime,
+        NoControl,
+    )
+
+    factories = {
+        "none": lambda nest: NoControl(),
+        "2pl": lambda nest: DistributedLockControl(),
+        "mla-prevent": lambda nest: DistributedPreventControl(nest),
+    }
+    if args.scheduler not in factories:
+        raise SystemExit(
+            f"--distributed supports {sorted(factories)}, "
+            f"not {args.scheduler!r}"
+        )
+    control = factories[args.scheduler](workload.nest)
+    return DistributedRuntime(
+        workload.programs,
+        _initial_values(workload),
+        control,
+        nodes=args.nodes,
+        seed=args.seed,
+        **kwargs,
+    )
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs import (
+        MetricsRegistry,
+        PhaseProfiler,
+        json_snapshot,
+        prometheus_text,
+    )
+
+    workload = _build_workload(args)
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler()
+    if args.distributed:
+        runtime = _build_distributed(
+            args, workload, registry=registry, profiler=profiler
+        )
+        runtime.run()
+        registry = runtime.registry_snapshot()
+    else:
+        scheduler = SCHEDULERS[args.scheduler](workload.nest)
+        workload.engine(
+            scheduler, seed=args.seed, registry=registry, profiler=profiler
+        ).run()
+    profiler.publish(registry)
+    if args.format == "json":
+        text = json.dumps(json_snapshot(registry), indent=2, sort_keys=True)
+    else:
+        text = prometheus_text(registry)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {args.format} exposition to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def cmd_spans(args) -> int:
+    from repro.obs import RingTracer, chrome_trace, validate_trace, write_chrome_trace
+
+    workload = _build_workload(args)
+    tracer = RingTracer(capacity=None)
+    if args.distributed:
+        result = _build_distributed(args, workload, tracer=tracer).run()
+        commits, aborts = result.commits, result.aborts
+    else:
+        scheduler = SCHEDULERS[args.scheduler](workload.nest)
+        result = workload.engine(scheduler, seed=args.seed, tracer=tracer).run()
+        commits, aborts = result.metrics.commits, result.metrics.aborts
+    events = tracer.events()
+    validate_trace(chrome_trace(events))
+    written = write_chrome_trace(events, args.out)
+    print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
+          f"seed: {args.seed} (commits={commits}, aborts={aborts})")
+    print(f"folded {len(events)} events into {written} trace events "
+          f"in {args.out}")
+    print("open with https://ui.perfetto.dev ('Open trace file') "
+          "or chrome://tracing")
+    return 0
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = max(0, min(width, int(round(fraction * width))))
+    return "#" * filled + "." * (width - filled)
+
+
+def _phase_lines(profiler) -> list[str]:
+    snapshot = profiler.snapshot()
+    total = sum(stat["seconds"] for stat in snapshot.values())
+    lines = ["phase time (exclusive):"]
+    for name, stat in snapshot.items():
+        share = stat["seconds"] / total if total else 0.0
+        lines.append(
+            f"  {name:9s} {_bar(share)} {stat['seconds'] * 1000.0:9.2f} ms"
+            f"  ({int(stat['calls'])} calls)"
+        )
+    return lines
+
+
+def _print_frame(lines: list[str], clear: bool) -> None:
+    if clear:
+        print("\x1b[2J\x1b[H", end="")
+    for line in lines:
+        print(line)
+    if not clear:
+        print("-" * 64)
+    sys.stdout.flush()
+
+
+def _engine_frame(args, engine, registry, profiler) -> list[str]:
+    name = engine.scheduler.name
+    commits = registry.value("repro_commits_total", scheduler=name) or 0
+    aborts = registry.value("repro_aborts_total", scheduler=name) or 0
+    waits = registry.value("repro_waits_total", scheduler=name) or 0
+    steps = registry.value("repro_steps_total", scheduler=name) or 0
+    tick = max(engine.tick, 1)
+    attempts = commits + aborts
+    lines = [
+        f"repro top — workload={args.workload} scheduler={name} "
+        f"tick={engine.tick}",
+        f"commits={commits} aborts={aborts} waits={waits} steps={steps}  "
+        f"throughput={commits / tick:.3f} commits/tick  "
+        f"abort-rate={aborts / attempts if attempts else 0.0:.1%}",
+    ]
+    hist = registry.value("repro_commit_latency_ticks", scheduler=name)
+    if hist is not None and hist.count:
+        lines.append(
+            f"commit latency (ticks): p50={hist.percentile(0.50)} "
+            f"p95={hist.percentile(0.95)} p99={hist.percentile(0.99)} "
+            f"max={hist.max}"
+        )
+    lines.extend(_phase_lines(profiler))
+    return lines
+
+
+def _distributed_frame(args, runtime, profiler, now: float) -> list[str]:
+    snapshot = runtime.registry_snapshot()
+    control = runtime.control.name
+    commits = snapshot.value("repro_seq_commits_total", control=control) or 0
+    aborts = snapshot.value("repro_seq_aborts_total", control=control) or 0
+    attempts = commits + aborts
+    lines = [
+        f"repro top — distributed control={control} nodes={args.nodes} "
+        f"t={now:.1f}",
+        f"commits={commits} aborts={aborts} "
+        f"messages={runtime.network.messages_sent}  "
+        f"abort-rate={aborts / attempts if attempts else 0.0:.1%}",
+    ]
+    for metric, title in (
+        ("repro_net_deliveries_total", "deliveries"),
+        ("repro_node_steps_performed_total", "steps"),
+    ):
+        family = snapshot.get(metric)
+        if family is not None:
+            parts = [
+                f"{values[0]}={child.value}"
+                for values, child in family.series()
+            ]
+            if parts:
+                lines.append(f"per-node {title}: " + " ".join(parts))
+    lines.extend(_phase_lines(profiler))
+    return lines
+
+
+def cmd_top(args) -> int:
+    from repro.obs import MetricsRegistry, PhaseProfiler
+
+    workload = _build_workload(args)
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler()
+    clear = sys.stdout.isatty() and not args.no_clear
+    frames = 0
+    if args.distributed:
+        runtime = _build_distributed(
+            args, workload, registry=registry, profiler=profiler
+        )
+        runtime.start()
+        now = 0.0
+        while not runtime.network.idle and frames < args.max_frames:
+            now = runtime.pump(now + float(args.batch))
+            frames += 1
+            _print_frame(
+                _distributed_frame(args, runtime, profiler, now), clear
+            )
+        if not runtime.network.idle:
+            print(f"stopped after {frames} frames with work still queued "
+                  f"(raise --max-frames or --batch)")
+            return 1
+        result = runtime.finish()
+        print(f"quiesced at t={result.makespan:.1f} after {frames} frames: "
+              f"commits={result.commits} aborts={result.aborts} "
+              f"messages={result.messages}")
+        return 0
+    scheduler = SCHEDULERS[args.scheduler](workload.nest)
+    engine = workload.engine(
+        scheduler, seed=args.seed, registry=registry, profiler=profiler
+    )
+    budget = 0
+    result = None
+    while frames < args.max_frames:
+        budget += args.batch
+        result = engine.run(until_tick=budget)
+        frames += 1
+        _print_frame(_engine_frame(args, engine, registry, profiler), clear)
+        if not result.partial:
+            break
+    if result is None or result.partial:
+        print(f"stopped after {frames} frames with transactions still live "
+              f"(raise --max-frames or --batch)")
+        return 1
+    metrics = result.metrics
+    print(f"finished at tick {metrics.ticks} after {frames} frames: "
+          f"commits={metrics.commits} aborts={metrics.aborts} "
+          f"waits={metrics.waits}")
+    return 0
+
+
 def _add_workload_arguments(parser) -> None:
     parser.add_argument(
         "--workload", choices=["banking", "cad", "fgl"], default="banking"
@@ -262,6 +514,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain this transaction's abort (default: first victim)",
     )
     trace.set_defaults(func=cmd_trace)
+
+    def _add_obs_arguments(parser, default_scheduler="mla-detect") -> None:
+        parser.add_argument(
+            "--scheduler", choices=sorted(SCHEDULERS),
+            default=default_scheduler,
+        )
+        parser.add_argument(
+            "--distributed", action="store_true",
+            help=f"run the distributed runtime instead "
+                 f"(controls: {', '.join(sorted(DISTRIBUTED_CONTROLS))})",
+        )
+        parser.add_argument(
+            "--nodes", type=int, default=3,
+            help="data nodes for --distributed (default 3)",
+        )
+
+    metrics = sub.add_parser(
+        "metrics", help="run once and print the metrics registry"
+    )
+    _add_workload_arguments(metrics)
+    _add_obs_arguments(metrics)
+    metrics.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="Prometheus text exposition (default) or a JSON snapshot",
+    )
+    metrics.add_argument(
+        "--out", default=None, help="write the exposition to this file"
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
+    spans = sub.add_parser(
+        "spans", help="export a run as Chrome trace-event spans"
+    )
+    _add_workload_arguments(spans)
+    _add_obs_arguments(spans)
+    spans.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    spans.set_defaults(func=cmd_spans)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a simulated run"
+    )
+    _add_workload_arguments(top)
+    _add_obs_arguments(top)
+    top.add_argument(
+        "--batch", type=int, default=64,
+        help="simulated ticks (or time units with --distributed) per "
+             "frame (default 64)",
+    )
+    top.add_argument(
+        "--max-frames", type=int, default=200,
+        help="stop after this many frames even if work remains",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="never clear the screen; print frames sequentially",
+    )
+    top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -44,6 +44,8 @@ from repro.engine.locks import LockManager, LockMode
 from repro.engine.rollback import cascade_closure, undo_plan
 from repro.errors import NetworkError
 from repro.model.breakpoints import spec_for_execution
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.model.execution import Execution
 from repro.model.programs import TransactionProgram
 from repro.model.steps import StepId, StepRecord
@@ -132,6 +134,7 @@ class DistributedPreventControl(NoControl):
         super().attach(sequencer)
         self.window.tracer = sequencer.network.tracer
         self.window.clock = lambda: sequencer.network.now
+        self.window.profiler = sequencer.profiler
 
     def _at_breakpoint(self, name: str, level: int) -> bool:
         seq = self.sequencer
@@ -195,7 +198,10 @@ class DistributedPreventControl(NoControl):
         seq.waiting_on[name] = blockers
         graph = nx.DiGraph()
         for waiter, blocking in seq.waiting_on.items():
-            for blocker in blocking:
+            # Sorted: edge insertion order decides which cycle
+            # ``find_cycle`` surfaces (hence the victim), and raw set
+            # order varies with the process hash seed.
+            for blocker in sorted(blocking):
                 graph.add_edge(waiter, blocker)
         try:
             cycle = [u for u, _ in nx.find_cycle(graph)]
@@ -259,10 +265,35 @@ class Sequencer:
         backoff: float = 6.0,
         commit_retry: float = 2.0,
         rexmit_delay: float = 4.0,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.name = name
         self.network = network
         self.control = control
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        if self.registry.enabled:
+            def _c(metric: str, help: str):
+                return self.registry.counter(
+                    metric, help=help, labels=("control",),
+                ).labels(control=control.name)
+            self._mx = {
+                "grants": _c("repro_seq_grants_total",
+                             "Step permissions granted."),
+                "denies": _c("repro_seq_denies_total",
+                             "Step permissions denied (wait or quiesce)."),
+                "commits": _c("repro_seq_commits_total",
+                              "Transactions committed by the sequencer."),
+                "aborts": _c("repro_seq_aborts_total",
+                             "Attempts rolled back (cascade included)."),
+                "deadlocks": _c("repro_seq_deadlocks_total",
+                                "Circular waits or certification failures."),
+                "recoveries": _c("repro_seq_recoveries_total",
+                                 "Node crash recoveries reconciled."),
+            }
+        else:
+            self._mx = None
         self.entity_owner = dict(entity_owner)
         self.origins = dict(origins)
         self.arrivals = dict(arrivals)
@@ -349,6 +380,8 @@ class Sequencer:
     def _send_grant(self, node: str, name: str, attempt: int, steps: int) -> None:
         self.outstanding.add(name)
         self._granted[name] = (attempt, steps)
+        if self._mx is not None:
+            self._mx["grants"].inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(
@@ -363,6 +396,8 @@ class Sequencer:
         )
 
     def _send_deny(self, node: str, name: str, attempt: int, steps: int) -> None:
+        if self._mx is not None:
+            self._mx["denies"].inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(
@@ -420,7 +455,12 @@ class Sequencer:
             # computed over a stable log and no step overtakes an undo.
             self._send_deny(node, name, attempt, steps)
             return
-        decision = self.control.decide(payload)
+        pr = self.profiler
+        if pr.enabled:
+            with pr.phase("schedule"):
+                decision = self.control.decide(payload)
+        else:
+            decision = self.control.decide(payload)
         if decision == "grant":
             self._send_grant(node, name, attempt, steps)
         elif decision == "wait":
@@ -428,6 +468,8 @@ class Sequencer:
         else:
             _tag, victims = decision
             self.deadlocks += 1
+            if self._mx is not None:
+                self._mx["deadlocks"].inc()
             self._abort(victims)
             if name not in victims:
                 self._send_deny(node, name, attempt, steps)
@@ -689,6 +731,8 @@ class Sequencer:
             return
         self._node_epoch[node] = epoch
         self.recoveries += 1
+        if self._mx is not None:
+            self._mx["recoveries"].inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(
@@ -737,9 +781,16 @@ class Sequencer:
             dep for dep in self.deps.get(key, ()) if dep not in self.committed
         }
         if not pending:
-            victims = self.control.certify_commit(name)
+            pr = self.profiler
+            if pr.enabled:
+                with pr.phase("certify"):
+                    victims = self.control.certify_commit(name)
+            else:
+                victims = self.control.certify_commit(name)
             if victims:
                 self.deadlocks += 1
+                if self._mx is not None:
+                    self._mx["deadlocks"].inc()
                 self._abort(victims)
                 if name not in victims and name in self.pending_commit:
                     self.network.send(
@@ -758,6 +809,8 @@ class Sequencer:
             self.results[name] = txn.result
             self.final_cut_levels[name] = txn.cut_levels
             self.commits += 1
+            if self._mx is not None:
+                self._mx["commits"].inc()
             tr = self.network.tracer
             if tr.enabled:
                 tr.emit(
@@ -771,6 +824,8 @@ class Sequencer:
         if cycle:
             victim = max(cycle, key=self.priority_key)
             self.deadlocks += 1
+            if self._mx is not None:
+                self._mx["deadlocks"].inc()
             tr = self.network.tracer
             if tr.enabled:
                 tr.emit(
@@ -818,6 +873,14 @@ class Sequencer:
             return  # drain first; grants are quiesced meanwhile
         if self._undo_outstanding:
             return  # a previous rollback's undo barrier is still up
+        pr = self.profiler
+        if pr.enabled:
+            with pr.phase("rollback"):
+                self._execute_rollback()
+        else:
+            self._execute_rollback()
+
+    def _execute_rollback(self) -> None:
         victims = set(self.doomed)
         self.doomed.clear()
         seeds = {(name, self.attempts[name]) for name in victims}
@@ -891,6 +954,8 @@ class Sequencer:
             else:
                 self._send_restart(name, delay=self._restart_delay(name))
             self.aborts += 1
+            if self._mx is not None:
+                self._mx["aborts"].inc()
 
 
 # ---------------------------------------------------------------------------
@@ -949,8 +1014,12 @@ class DistributedRuntime:
         faults: FaultPlan | None = None,
         rexmit_delay: float = 4.0,
         tracer=None,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         programs = list(programs)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         if nodes < 1:
             raise NetworkError("need at least one data node")
         node_names = [f"node{i}" for i in range(nodes)]
@@ -964,7 +1033,8 @@ class DistributedRuntime:
                         f"node {event.node!r}"
                     )
         self.network = Network(
-            latency=latency, seed=seed, faults=faults, tracer=tracer
+            latency=latency, seed=seed, faults=faults, tracer=tracer,
+            registry=registry, profiler=profiler,
         )
         entity_owner = {
             entity: node_names[i % nodes]
@@ -989,8 +1059,13 @@ class DistributedRuntime:
             arrival_times,
             backoff=backoff,
             rexmit_delay=rexmit_delay,
+            registry=registry,
+            profiler=profiler,
         )
         self.nodes: list[DataNode] = []
+        # Each node writes into a private registry; ``registry_snapshot``
+        # folds them with the shared one via ``MetricsRegistry.merge``.
+        self._node_registries: dict[str, MetricsRegistry] = {}
         for node_name in node_names:
             node_entities = {
                 entity: initial_values[entity]
@@ -1002,6 +1077,11 @@ class DistributedRuntime:
                 for program in programs
                 if origins[program.name] == node_name
             }
+            node_registry = (
+                MetricsRegistry() if self.registry.enabled else None
+            )
+            if node_registry is not None:
+                self._node_registries[node_name] = node_registry
             self.nodes.append(
                 DataNode(
                     node_name,
@@ -1012,6 +1092,7 @@ class DistributedRuntime:
                     entity_owner,
                     retry_delay=retry_delay,
                     rexmit_delay=rexmit_delay,
+                    registry=node_registry,
                 )
             )
         self._initial_values = dict(initial_values)
@@ -1019,7 +1100,9 @@ class DistributedRuntime:
         self._origins = origins
         self._arrivals = arrival_times
 
-    def run(self) -> DistributedResult:
+    def start(self) -> None:
+        """Inject the workload; nothing is delivered until the network
+        runs (fully via :meth:`run` or in slices via :meth:`pump`)."""
         for program in self._programs:
             if self.network.reliable:
                 # The sequencer owns injection under faults: the kickoff
@@ -1037,7 +1120,30 @@ class DistributedRuntime:
                     Message("start", {"name": program.name}),
                     delay=self._arrivals[program.name],
                 )
-        makespan = self.network.run()
+
+    def pump(self, until: float) -> float:
+        """Deliver everything due at or before ``until`` simulation time
+        and return the current clock — the dashboard's tick-batch mode."""
+        return self.network.run(until=until)
+
+    def registry_snapshot(self) -> MetricsRegistry:
+        """A fresh registry folding the shared registry with every
+        node-private one (counters add, gauges max, histograms merge) —
+        the distributed analogue of ``Metrics.merge``.  Fresh on every
+        call, so repeated snapshots never double-count."""
+        merged = MetricsRegistry()
+        merged.merge(self.registry)
+        for node_registry in self._node_registries.values():
+            merged.merge(node_registry)
+        return merged
+
+    def run(self) -> DistributedResult:
+        self.start()
+        self.network.run()
+        return self.finish()
+
+    def finish(self) -> DistributedResult:
+        makespan = self.network.now
         seq = self.sequencer
         if len(seq.committed_names) != len(self._programs):
             raise NetworkError(

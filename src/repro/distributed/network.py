@@ -24,6 +24,8 @@ from typing import Any
 
 from repro.distributed.faults import FaultPlan
 from repro.errors import NetworkError
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Message", "Network"]
@@ -59,6 +61,8 @@ class Network:
         fifo: bool = True,
         faults: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         lo, hi = latency
         if lo < 0 or hi < lo:
@@ -68,6 +72,24 @@ class Network:
         # Flight recorder; events carry simulation time.  Emission never
         # touches ``rng``/``fault_rng``, so traced runs are identical.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Metrics plane: per-kind traffic counters and the ``network``
+        # phase of handler execution.  Same invariance rule as tracing.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        if self.registry.enabled:
+            self._fam_sent = self.registry.counter(
+                "repro_net_messages_total",
+                help="Messages put on the wire, by kind.",
+                labels=("kind",),
+            )
+            self._fam_recv = self.registry.counter(
+                "repro_net_deliveries_total",
+                help="Messages delivered to a handler, by node.",
+                labels=("node",),
+            )
+        else:
+            self._fam_sent = None
+            self._fam_recv = None
         self.max_events = max_events
         self.fifo = fifo
         self.faults = faults
@@ -91,6 +113,9 @@ class Network:
         self.down: set[str] = set()
         self._heap: list[_Delivery] = []
         self._seq = 0
+        # Lifetime event count: persists across resumed run(until=...)
+        # calls so the livelock valve covers the whole simulation.
+        self._events = 0
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._crash_hooks: dict[str, tuple[Callable[[], None], Callable[[], None]]] = {}
         self._last_delivery: dict[str, float] = {}
@@ -157,6 +182,8 @@ class Network:
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
         )
+        if self._fam_sent is not None:
+            self._fam_sent.labels(kind=message.kind).inc()
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -248,13 +275,19 @@ class Network:
             if hooks is not None:
                 hooks[1]()
 
-    def run(self) -> float:
+    def run(self, until: float | None = None) -> float:
         """Deliver messages until the system quiesces; returns the final
-        simulation time (the makespan)."""
-        events = 0
+        simulation time (the makespan).
+
+        With ``until`` the drain stops once the next delivery lies past
+        that simulation time, leaving it queued — the pump mode used by
+        the live dashboard (``repro top --distributed``).  The event
+        budget accumulates across resumed calls."""
         while self._heap:
-            events += 1
-            if events > self.max_events:
+            if until is not None and self._heap[0].time > until:
+                break
+            self._events += 1
+            if self._events > self.max_events:
                 raise NetworkError(
                     f"network exceeded {self.max_events} events; livelock?"
                 )
@@ -280,8 +313,20 @@ class Network:
                     "msg.recv", self.now,
                     kind=delivery.message.kind, target=delivery.target,
                 )
-            self._handlers[delivery.target](delivery.message)
+            if self._fam_recv is not None:
+                self._fam_recv.labels(node=delivery.target).inc()
+            pr = self.profiler
+            if pr.enabled:
+                with pr.phase("network"):
+                    self._handlers[delivery.target](delivery.message)
+            else:
+                self._handlers[delivery.target](delivery.message)
         return self.now
+
+    @property
+    def idle(self) -> bool:
+        """Whether the heap is fully drained (the system quiesced)."""
+        return not self._heap
 
     def fault_summary(self) -> dict[str, int]:
         return {

@@ -22,6 +22,7 @@ from repro.distributed.network import Message, Network
 from repro.errors import NetworkError
 from repro.model.programs import TransactionProgram
 from repro.model.variables import EntityStore
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["DataNode"]
 
@@ -39,10 +40,35 @@ class DataNode:
         entity_owner: dict[str, str],
         retry_delay: float = 2.0,
         rexmit_delay: float = 4.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
         self.network = network
         self.sequencer = sequencer
+        # Each node owns a private registry (folded by the runtime via
+        # ``MetricsRegistry.merge``, the distributed analogue of
+        # ``Metrics.merge``); metric emission never touches any RNG.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        if self.registry.enabled:
+            self._mx_parks = self.registry.counter(
+                "repro_node_parks_total",
+                help="Transactions parked awaiting a sequencer grant.",
+                labels=("node",),
+            ).labels(node=name)
+            self._mx_performs = self.registry.counter(
+                "repro_node_steps_performed_total",
+                help="Steps performed against the local entity store.",
+                labels=("node",),
+            ).labels(node=name)
+            self._mx_undos = self.registry.counter(
+                "repro_node_undos_total",
+                help="Before-images restored by sequencer-driven undo.",
+                labels=("node",),
+            ).labels(node=name)
+        else:
+            self._mx_parks = None
+            self._mx_performs = None
+            self._mx_undos = None
         self.store = EntityStore(dict(entities))
         self.home_programs = dict(home_programs)
         # The placement catalog: every processor knows which node owns
@@ -278,6 +304,8 @@ class DataNode:
                 )
             return
         self.parked[(txn.name, txn.attempt)] = txn
+        if self._mx_parks is not None:
+            self._mx_parks.inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(
@@ -368,6 +396,8 @@ class DataNode:
         del self.parked[key]
         self._req_epoch.pop(key, None)
         record = txn.perform(self.store)
+        if self._mx_performs is not None:
+            self._mx_performs.inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(
@@ -434,6 +464,8 @@ class DataNode:
                 return  # duplicate undo: already applied (durably logged)
             self._undo_applied.add(payload["uid"])
         self.store.restore(payload["entity"], payload["value"])
+        if self._mx_undos is not None:
+            self._mx_undos.inc()
         tr = self.network.tracer
         if tr.enabled:
             tr.emit(

@@ -56,6 +56,7 @@ from repro.core.nests import KNest
 from repro.core.segmentation import BreakpointDescription
 from repro.errors import EngineError
 from repro.model.steps import StepId, StepKind
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ClosureWindow"]
@@ -164,10 +165,13 @@ class ClosureWindow:
         self.closure_seconds = 0.0
         self.closure_edges_propagated = 0
         self.closure_word_ops = 0
-        # Flight recorder, wired by Scheduler.attach (the window itself
-        # has no engine reference); ``clock`` supplies the event time.
+        # Flight recorder and phase profiler, wired by Scheduler.attach
+        # (the window itself has no engine reference); ``clock`` supplies
+        # the event time.  The window donates its already-metered closure
+        # intervals to the profiler via ``add`` rather than opening spans.
         self.tracer = NULL_TRACER
         self.clock = lambda: 0
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------
     # window contents
@@ -307,7 +311,9 @@ class ClosureWindow:
         engine = live.engine
         index = engine.index
         self.closure_calls += 1
-        self.closure_seconds += perf_counter() - t0
+        elapsed = perf_counter() - t0
+        self.closure_seconds += elapsed
+        self.profiler.add("closure", elapsed)
         self.closure_edges_propagated += index.edges_propagated
         self.closure_word_ops += index.word_ops
         self.edges_last = index.edges
@@ -348,7 +354,9 @@ class ClosureWindow:
         index = result.index
         assert index is not None
         self.closure_calls += 1
-        self.closure_seconds += perf_counter() - t0
+        elapsed = perf_counter() - t0
+        self.closure_seconds += elapsed
+        self.profiler.add("closure", elapsed)
         self.closure_edges_propagated += index.edges_propagated
         self.closure_word_ops += index.word_ops
         self.edges_last = index.edges
@@ -389,7 +397,9 @@ class ClosureWindow:
             engine.saturate()
         index = engine.index
         self.closure_calls += 1
-        self.closure_seconds += perf_counter() - t0
+        elapsed = perf_counter() - t0
+        self.closure_seconds += elapsed
+        self.profiler.add("closure", elapsed)
         self.closure_edges_propagated += index.edges_propagated - ep0
         self.closure_word_ops += index.word_ops - wo0
         return self._result_of(engine, ea0)
@@ -429,7 +439,9 @@ class ClosureWindow:
                 break
         engine.saturate()
         self.closure_calls += 1
-        self.closure_seconds += perf_counter() - t0
+        elapsed = perf_counter() - t0
+        self.closure_seconds += elapsed
+        self.profiler.add("closure", elapsed)
         self.closure_edges_propagated += index.edges_propagated - ep0
         self.closure_word_ops += index.word_ops - wo0
         self.edges_last = index.edges

@@ -52,6 +52,7 @@ class Metrics:
     latency_total: int = 0
     latency_max: int = 0
     cascade_chain_max: int = 0
+    merge_collisions: int = 0
     per_transaction_latency: dict[str, int] = field(default_factory=dict)
     per_transaction_waits: dict[str, int] = field(default_factory=dict)
     latency_histogram: Histogram = field(default_factory=Histogram)
@@ -81,6 +82,13 @@ class Metrics:
         participant, not the sum); per-transaction dicts union (a
         transaction commits on exactly one node); histograms add
         bucket-wise, which is exact.
+
+        A per-transaction key present on both sides violates the
+        commits-on-exactly-one-node invariant — almost certainly a
+        protocol bug upstream.  The union keeps the incoming value (last
+        writer wins, as before) but every such duplicate is counted in
+        ``merge_collisions`` so the breach is visible in ``summary()``
+        instead of silently overwritten.
         """
         self.ticks = max(self.ticks, other.ticks)
         for counter in (
@@ -88,7 +96,7 @@ class Metrics:
             "restarts", "deadlocks", "cycles_detected", "cascade_aborts",
             "partial_rollbacks", "steps_preserved", "closure_edges_added",
             "closure_checks", "closure_edges_propagated", "closure_word_ops",
-            "commit_waits", "latency_total",
+            "commit_waits", "latency_total", "merge_collisions",
         ):
             setattr(self, counter, getattr(self, counter) + getattr(other, counter))
         self.closure_seconds += other.closure_seconds
@@ -96,8 +104,14 @@ class Metrics:
         self.cascade_chain_max = max(
             self.cascade_chain_max, other.cascade_chain_max
         )
-        self.per_transaction_latency.update(other.per_transaction_latency)
-        self.per_transaction_waits.update(other.per_transaction_waits)
+        for ours, theirs in (
+            (self.per_transaction_latency, other.per_transaction_latency),
+            (self.per_transaction_waits, other.per_transaction_waits),
+        ):
+            for key in theirs:
+                if key in ours:
+                    self.merge_collisions += 1
+            ours.update(theirs)
         self.latency_histogram.merge(other.latency_histogram)
         self.wait_histogram.merge(other.wait_histogram)
         return self
@@ -140,6 +154,7 @@ class Metrics:
             "cycles_detected": self.cycles_detected,
             "cascade_aborts": self.cascade_aborts,
             "cascade_chain_max": self.cascade_chain_max,
+            "merge_collisions": self.merge_collisions,
             "partial_rollbacks": self.partial_rollbacks,
             "steps_performed": self.steps_performed,
             "steps_undone": self.steps_undone,

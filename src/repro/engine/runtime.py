@@ -41,6 +41,8 @@ from repro.model.programs import TransactionProgram
 from repro.model.steps import StepKind, StepRecord
 from repro.model.system import _LiveTransaction
 from repro.model.variables import EntityStore
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Engine", "EngineResult", "TxnState"]
@@ -156,6 +158,15 @@ class Engine:
     tracer:
         Optional :class:`repro.obs.Tracer` flight recorder.  ``None``
         (the default) traces nothing at null-tracer cost.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`.  When given, the
+        engine publishes labeled counters/gauges/histograms (label
+        ``scheduler=``) into it as the run progresses.  ``None`` (the
+        default) records nothing at null-registry cost.
+    profiler:
+        Optional :class:`repro.obs.PhaseProfiler` attributing wall time
+        to the ``schedule`` / ``closure`` / ``rollback`` / ``certify``
+        phases.  ``None`` (the default) profiles nothing.
     """
 
     def __init__(
@@ -171,6 +182,8 @@ class Engine:
         recovery: str = "transaction",
         schedule: list[str] | None = None,
         tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         if recovery not in ("transaction", "segment"):
             raise EngineError(f"unknown recovery unit {recovery!r}")
@@ -182,6 +195,12 @@ class Engine:
         # per-site cost is one attribute load + branch; emission never
         # consumes ``self.rng``, so traced runs are behaviour-identical.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # The metrics plane.  Same guarded pattern and the same
+        # behaviour-invariance rule as the tracer: recording never
+        # consumes ``self.rng``.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._mx = self._bind_metrics() if self.registry.enabled else None
         self.max_ticks = max_ticks
         self.stall_limit = stall_limit
         self.backoff = backoff
@@ -193,6 +212,10 @@ class Engine:
         self.tick = 0
         self._seq = 0
         self._timestamp = 0
+        # Tick of the last perform/commit.  Held on the instance so a run
+        # resumed across ``until_tick`` slices (the ``repro top`` pump)
+        # sees exactly the stall pattern of one uninterrupted run.
+        self._last_progress = 0
         arrivals = dict(arrivals or {})
         self.txns: dict[str, TxnState] = {}
         for program in programs:
@@ -215,6 +238,56 @@ class Engine:
         self._results: dict[str, Any] = {}
         self._cut_levels: dict[str, dict[int, int]] = {}
 
+    def _bind_metrics(self) -> dict[str, Any]:
+        """Pre-bind the registry children this engine updates, so the
+        hot path pays one dict lookup + ``inc``, never label resolution."""
+        registry = self.registry
+        label = {"scheduler": self.scheduler.name}
+
+        def counter(name: str, help: str):
+            return registry.counter(
+                name, help=help, labels=("scheduler",)
+            ).labels(**label)
+
+        return {
+            "commits": counter(
+                "repro_commits_total", "Committed transactions."),
+            "aborts": counter(
+                "repro_aborts_total", "Aborted attempts (full restarts)."),
+            "restarts": counter(
+                "repro_restarts_total", "Fresh attempts after a rollback."),
+            "waits": counter(
+                "repro_waits_total", "WAIT decisions on pending accesses."),
+            "commit_waits": counter(
+                "repro_commit_waits_total",
+                "Finished transactions told to wait before committing."),
+            "steps": counter(
+                "repro_steps_total", "Steps performed against the store."),
+            "steps_undone": counter(
+                "repro_steps_undone_total", "Before-images restored."),
+            "deadlocks": counter(
+                "repro_deadlocks_total",
+                "Waits-for / commit-dependency cycles broken."),
+            "partial_rollbacks": counter(
+                "repro_partial_rollbacks_total",
+                "Segment-unit rollbacks that kept a prefix."),
+            "latency": registry.histogram(
+                "repro_commit_latency_ticks",
+                help="Arrival-to-commit latency in ticks.",
+                labels=("scheduler",),
+            ).labels(**label),
+            "wait_hist": registry.histogram(
+                "repro_commit_wait_count",
+                help="WAIT decisions absorbed per committed transaction.",
+                labels=("scheduler",),
+            ).labels(**label),
+            "ticks": registry.gauge(
+                "repro_ticks",
+                help="Engine logical-clock high-water mark.",
+                labels=("scheduler",),
+            ).labels(**label),
+        }
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -229,10 +302,11 @@ class Engine:
         arbitrarily long (even infinite) transactions.
         """
         self.scheduler.attach(self)
-        last_progress = 0
         while not all(t.committed for t in self.txns.values()):
             if until_tick is not None and self.tick >= until_tick:
                 self.metrics.ticks = self.tick
+                if self._mx is not None:
+                    self._mx["ticks"].set(self.tick)
                 return self._result(partial=True)
             self.tick += 1
             if self.tick > self.max_ticks:
@@ -246,10 +320,17 @@ class Engine:
             ]
             if not candidates:
                 continue
-            if self.tick - last_progress > self.stall_limit:
-                decision = self.scheduler.on_stall(candidates)
+            if self.tick - self._last_progress > self.stall_limit:
+                pr = self.profiler
+                if pr.enabled:
+                    with pr.phase("schedule"):
+                        decision = self.scheduler.on_stall(candidates)
+                else:
+                    decision = self.scheduler.on_stall(candidates)
                 if decision.action is Action.ABORT and decision.victims:
                     self.metrics.deadlocks += 1
+                    if self._mx is not None:
+                        self._mx["deadlocks"].inc()
                     tr = self.tracer
                     if tr.enabled:
                         tr.emit(
@@ -263,7 +344,7 @@ class Engine:
                         decision.reason or "stall",
                         dict(decision.victim_points),
                     )
-                last_progress = self.tick
+                self._last_progress = self.tick
                 continue
             txn = None
             while self._schedule:
@@ -276,8 +357,10 @@ class Engine:
                 txn = self.rng.choice(sorted(candidates, key=lambda t: t.name))
             progressed = self._attend(txn)
             if progressed:
-                last_progress = self.tick
+                self._last_progress = self.tick
         self.metrics.ticks = self.tick
+        if self._mx is not None:
+            self._mx["ticks"].set(self.tick)
         return self._result()
 
     def next_timestamp(self) -> int:
@@ -304,10 +387,19 @@ class Engine:
             return self._try_commit(txn)
         access = txn.live.pending
         assert access is not None
-        decision = self.scheduler.on_request(txn, access)
+        pr = self.profiler
+        if pr.enabled:
+            with pr.phase("schedule"):
+                decision = self.scheduler.on_request(txn, access)
+        else:
+            decision = self.scheduler.on_request(txn, access)
         if decision.action is Action.PERFORM:
             record = self._perform(txn)
-            veto = self.scheduler.after_performed(txn, record)
+            if pr.enabled:
+                with pr.phase("schedule"):
+                    veto = self.scheduler.after_performed(txn, record)
+            else:
+                veto = self.scheduler.after_performed(txn, record)
             if veto is not None and veto.action is Action.ABORT:
                 self._abort(
                     veto.victims, veto.reason, dict(veto.victim_points)
@@ -322,6 +414,8 @@ class Engine:
             return True
         self.metrics.waits += 1
         txn.waits += 1
+        if self._mx is not None:
+            self._mx["waits"].inc()
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -342,6 +436,8 @@ class Engine:
         if record.kind is not StepKind.READ:
             self._last_writer[access.entity] = txn.key
         self.metrics.steps_performed += 1
+        if self._mx is not None:
+            self._mx["steps"].inc()
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -366,6 +462,8 @@ class Engine:
             if cycle:
                 victim = max(cycle, key=lambda t: (t.priority, t.name))
                 self.metrics.deadlocks += 1
+                if self._mx is not None:
+                    self._mx["deadlocks"].inc()
                 tr = self.tracer
                 if tr.enabled:
                     tr.emit(
@@ -379,6 +477,8 @@ class Engine:
                 return True
             self.metrics.commit_waits += 1
             txn.waits += 1
+            if self._mx is not None:
+                self._mx["commit_waits"].inc()
             tr = self.tracer
             if tr.enabled:
                 tr.emit(
@@ -389,7 +489,12 @@ class Engine:
                 )
             txn.wake_tick = self.tick + 1
             return False
-        decision = self.scheduler.may_commit(txn)
+        pr = self.profiler
+        if pr.enabled:
+            with pr.phase("certify"):
+                decision = self.scheduler.may_commit(txn)
+        else:
+            decision = self.scheduler.may_commit(txn)
         if decision.action is Action.PERFORM:
             txn.committed = True
             txn.commit_tick = self.tick
@@ -400,6 +505,11 @@ class Engine:
             self.metrics.record_commit(
                 txn.name, self.tick - txn.arrival_tick, waited=txn.waits
             )
+            mx = self._mx
+            if mx is not None:
+                mx["commits"].inc()
+                mx["latency"].observe(self.tick - txn.arrival_tick)
+                mx["wait_hist"].observe(txn.waits)
             tr = self.tracer
             if tr.enabled:
                 tr.emit(
@@ -421,6 +531,8 @@ class Engine:
             return True
         self.metrics.commit_waits += 1
         txn.waits += 1
+        if self._mx is not None:
+            self._mx["commit_waits"].inc()
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -477,6 +589,17 @@ class Engine:
         reason: str,
         points: dict[str, int] | None = None,
     ) -> None:
+        # Cold path: the null profiler's span is a shared no-op, so this
+        # needs no guard (unlike the per-tick schedule/certify sites).
+        with self.profiler.phase("rollback"):
+            self._rollback(victim_names, reason, points)
+
+    def _rollback(
+        self,
+        victim_names: Iterable[str],
+        reason: str,
+        points: dict[str, int] | None = None,
+    ) -> None:
         if self.recovery == "segment":
             self._abort_segment(victim_names, reason, points or {})
             return
@@ -513,6 +636,8 @@ class Engine:
             if entry.key in cascade and entry.record.kind is not StepKind.READ:
                 self.store.restore(entry.record.entity, entry.record.value_before)
                 self.metrics.steps_undone += 1
+                if self._mx is not None:
+                    self._mx["steps_undone"].inc()
                 if tr.enabled:
                     tr.emit(
                         "step.undo",
@@ -546,6 +671,9 @@ class Engine:
             )
             self.metrics.aborts += 1
             self.metrics.restarts += 1
+            if self._mx is not None:
+                self._mx["aborts"].inc()
+                self._mx["restarts"].inc()
             if tr.enabled:
                 tr.emit(
                     "txn.restart",
@@ -667,6 +795,8 @@ class Engine:
                     entry.record.entity, entry.record.value_before
                 )
                 self.metrics.steps_undone += 1
+                if self._mx is not None:
+                    self._mx["steps_undone"].inc()
                 if tr.enabled:
                     tr.emit(
                         "step.undo",
@@ -697,12 +827,17 @@ class Engine:
                 txn.attempt_start_tick = self.tick
                 self.metrics.aborts += 1
                 self.metrics.restarts += 1
+                if self._mx is not None:
+                    self._mx["aborts"].inc()
+                    self._mx["restarts"].inc()
             else:
                 fresh = _LiveTransaction(txn.program)
                 fresh.fast_forward(txn.live.results_log[:keep])
                 txn.live = fresh
                 self.metrics.partial_rollbacks += 1
                 self.metrics.steps_preserved += keep
+                if self._mx is not None:
+                    self._mx["partial_rollbacks"].inc()
             txn.wake_tick = self.tick + self.rng.randint(
                 1, self.backoff * min(txn.rollbacks, 64)
             )

@@ -99,6 +99,22 @@ class Scheduler:
         if window is not None:
             window.tracer = engine.tracer
             window.clock = lambda: engine.tick
+            window.profiler = engine.profiler
+        self.bind_metrics(engine.registry)
+
+    def bind_metrics(self, registry) -> None:
+        """Called from :meth:`attach` so schedulers can pre-bind their
+        domain counters (lock traffic, conflicts, parks, ...) against
+        the engine's registry.  Default: nothing to bind."""
+
+    def _counter(self, registry, name: str, help: str = ""):
+        """A ``scheduler=``-labeled counter child, or ``None`` when the
+        registry is disabled — sites guard with ``if c is not None``."""
+        if not registry.enabled:
+            return None
+        return registry.counter(
+            name, help=help, labels=("scheduler",)
+        ).labels(scheduler=self.name)
 
     @property
     def tracer(self) -> Tracer:

@@ -64,6 +64,20 @@ class MLAPreventScheduler(Scheduler):
         self.locks = LockManager() if use_locks else None
         # waiter -> blocking transaction names (for circular-wait checks)
         self._waiting_on: dict[str, set[str]] = {}
+        self._mx_checks = None
+        self._mx_bp_waits = None
+        self._mx_cycles = None
+
+    def bind_metrics(self, registry) -> None:
+        self._mx_checks = self._counter(
+            registry, "repro_closure_checks_total",
+            "Coherent-closure queries (per-step and hypothetical).")
+        self._mx_bp_waits = self._counter(
+            registry, "repro_breakpoint_waits_total",
+            "Steps delayed until blockers reach a suitable breakpoint.")
+        self._mx_cycles = self._counter(
+            registry, "repro_cycles_detected_total",
+            "Closure cycles detected (rollback triggered).")
 
     # ------------------------------------------------------------------
 
@@ -76,6 +90,8 @@ class MLAPreventScheduler(Scheduler):
             txn.name, step, access.entity, access.kind
         )
         self.engine.metrics.closure_checks += 1
+        if self._mx_checks is not None:
+            self._mx_checks.inc()
         if not acyclic:
             # Performing now would close a cycle outright; wait for the
             # transactions on that cycle to advance (their segments close
@@ -156,6 +172,8 @@ class MLAPreventScheduler(Scheduler):
                         cause="breakpoint-wait",
                     )
                 return Decision.abort([victim.name], "breakpoint-wait cycle")
+            if self._mx_bp_waits is not None:
+                self._mx_bp_waits.inc()
             if tr.enabled:
                 tr.emit(
                     "breakpoint.wait",
@@ -172,7 +190,10 @@ class MLAPreventScheduler(Scheduler):
     def _wait_cycle(self) -> list[str] | None:
         graph = nx.DiGraph()
         for waiter, blockers in self._waiting_on.items():
-            for blocker in blockers:
+            # Sorted: edge insertion order decides which cycle
+            # ``find_cycle`` surfaces (hence the victim), and raw set
+            # order varies with the process hash seed.
+            for blocker in sorted(blockers):
                 graph.add_edge(waiter, blocker)
         if self.locks is not None:
             graph.add_edges_from(self.locks.waits_for_edges())
@@ -209,6 +230,8 @@ class MLAPreventScheduler(Scheduler):
             # Prevention should make this unreachable; treat it as a
             # detected cycle and recover rather than corrupt the run.
             self.engine.metrics.cycles_detected += 1
+            if self._mx_cycles is not None:
+                self._mx_cycles.inc()
             if tr.enabled:
                 tr.emit(
                     "cycle.detect",

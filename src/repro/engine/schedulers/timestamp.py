@@ -40,6 +40,12 @@ class TimestampScheduler(Scheduler):
         self.conflicts = conflicts
         self._marks: dict[str, _Marks] = {}
         self._ts: dict[str, int] = {}
+        self._mx_conflicts = None
+
+    def bind_metrics(self, registry) -> None:
+        self._mx_conflicts = self._counter(
+            registry, "repro_ts_conflicts_total",
+            "Timestamp-order violations (requester aborted).")
 
     def _timestamp(self, txn) -> int:
         assert self.engine is not None
@@ -49,6 +55,8 @@ class TimestampScheduler(Scheduler):
         return self._ts[key]
 
     def _conflict(self, txn, access, ts: int, marks: _Marks) -> None:
+        if self._mx_conflicts is not None:
+            self._mx_conflicts.inc()
         tr = self.tracer
         if tr.enabled:
             tr.emit(

@@ -33,6 +33,18 @@ class TwoPhaseLockingScheduler(Scheduler):
         super().__init__()
         self.locks = LockManager()
         self.shared_reads = shared_reads
+        self._mx_acquires = None
+        self._mx_lock_waits = None
+        self._mx_deadlocks = None
+
+    def bind_metrics(self, registry) -> None:
+        self._mx_acquires = self._counter(
+            registry, "repro_lock_acquires_total", "Locks granted.")
+        self._mx_lock_waits = self._counter(
+            registry, "repro_lock_waits_total", "Lock-conflict waits.")
+        self._mx_deadlocks = self._counter(
+            registry, "repro_scheduler_deadlocks_total",
+            "Waits-for cycles broken by the scheduler.")
 
     def on_request(self, txn, access) -> Decision:
         mode = (
@@ -42,6 +54,8 @@ class TwoPhaseLockingScheduler(Scheduler):
         )
         tr = self.tracer
         if self.locks.try_acquire(txn.name, access.entity, mode):
+            if self._mx_acquires is not None:
+                self._mx_acquires.inc()
             if tr.enabled:
                 tr.emit(
                     "lock.acquire",
@@ -57,6 +71,8 @@ class TwoPhaseLockingScheduler(Scheduler):
             states = [self.engine.txns[name] for name in cycle]
             victim = max(states, key=lambda t: (t.priority, t.name))
             self.engine.metrics.deadlocks += 1
+            if self._mx_deadlocks is not None:
+                self._mx_deadlocks.inc()
             if tr.enabled:
                 tr.emit(
                     "deadlock",
@@ -66,6 +82,8 @@ class TwoPhaseLockingScheduler(Scheduler):
                     cause="lock",
                 )
             return Decision.abort([victim.name], "2pl deadlock")
+        if self._mx_lock_waits is not None:
+            self._mx_lock_waits.inc()
         if tr.enabled:
             tr.emit(
                 "lock.wait",

@@ -1,21 +1,35 @@
-"""Observability: the flight recorder for the engine and the
-distributed runtime.
+"""Observability: the flight recorder and the metrics plane.
+
+The *event* half (PR 4 — what happened, in what order):
 
 * :mod:`repro.obs.events` — the typed event taxonomy and the JSONL wire
   format (emit -> dump -> parse round-trips).
 * :mod:`repro.obs.tracer` — sinks: the allocation-free null tracer (the
   default everywhere), a bounded in-memory ring, a JSONL stream.
-* :mod:`repro.obs.histogram` — the fixed-bucket latency histogram
-  backing ``Metrics`` percentiles.
 * :mod:`repro.obs.introspect` — on-demand wait-for-graph and
   closure-frontier snapshots of live components.
 * :mod:`repro.obs.explain` — timeline playback and abort cause-chain
   reconstruction from an event stream alone.
 
-Design rule: tracing must be *behaviour-invariant*.  Emission never
-consumes engine or network randomness and never mutates traced state,
-so a traced run commits the same order with the same metrics as an
-untraced one (asserted by the differential tests in ``tests/obs``).
+The *aggregate* half (how much, and where):
+
+* :mod:`repro.obs.registry` — pull-based labeled Counter/Gauge/Histogram
+  families with a ``merge`` mirroring ``Metrics.merge``.
+* :mod:`repro.obs.histogram` — the fixed-bucket latency histogram
+  backing ``Metrics`` percentiles and registry histogram families.
+* :mod:`repro.obs.profile` — the deterministic phase profiler
+  (exclusive wall-time attribution over schedule / closure / rollback /
+  certify / network).
+* :mod:`repro.obs.spans` — folds the event stream into per-transaction
+  and per-message causal spans as Chrome trace-event JSON (Perfetto).
+* :mod:`repro.obs.export` — Prometheus text exposition and lossless
+  JSON snapshots of a registry.
+
+Design rule: observability must be *behaviour-invariant*.  Emission and
+recording never consume engine or network randomness and never mutate
+observed state, so an instrumented run commits the same order with the
+same metrics as an uninstrumented one (asserted by the differential
+tests in ``tests/obs``).
 """
 
 from repro.obs.events import (
@@ -28,8 +42,25 @@ from repro.obs.events import (
     load_jsonl,
 )
 from repro.obs.explain import aborted_transactions, explain_abort, format_timeline
+from repro.obs.export import (
+    json_snapshot,
+    prometheus_text,
+    registry_from_snapshot,
+    write_chrome_trace,
+)
 from repro.obs.histogram import Histogram
 from repro.obs.introspect import closure_frontier, wait_for_snapshot
+from repro.obs.profile import NULL_PROFILER, PHASES, NullProfiler, PhaseProfiler
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    HistogramChild,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import build_spans, chrome_trace, validate_trace
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -41,20 +72,38 @@ from repro.obs.tracer import (
 __all__ = [
     "EVENT_KINDS",
     "EVENT_TAXONOMY",
+    "Counter",
     "Event",
+    "Gauge",
     "Histogram",
+    "HistogramChild",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_PROFILER",
+    "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullProfiler",
+    "NullRegistry",
     "NullTracer",
+    "PHASES",
+    "PhaseProfiler",
     "RingTracer",
     "StreamTracer",
     "Tracer",
     "aborted_transactions",
+    "build_spans",
+    "chrome_trace",
     "closure_frontier",
     "dump_jsonl",
     "event_from_dict",
     "event_to_dict",
     "explain_abort",
     "format_timeline",
+    "json_snapshot",
     "load_jsonl",
+    "prometheus_text",
+    "registry_from_snapshot",
+    "validate_trace",
     "wait_for_snapshot",
+    "write_chrome_trace",
 ]

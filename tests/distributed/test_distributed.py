@@ -199,3 +199,39 @@ def test_prevention_correctable_across_seeds(seed, nodes):
     )
     assert report.correctable
     assert not bank.invariant_violations(result)
+
+
+def test_run_invariant_under_hash_seed():
+    """Regression: the prevent control built its wait-for graph by
+    iterating a raw set of transaction names, so which cycle
+    ``find_cycle`` surfaced — and hence the victim, and the whole
+    trajectory — depended on ``PYTHONHASHSEED``.  Under some seeds the
+    run livelocked outright.  Two fresh interpreters with different
+    hash seeds must now agree exactly."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import json, sys\n"
+        "from repro.distributed import DistributedPreventControl, "
+        "DistributedRuntime\n"
+        "from repro.workloads import BankingConfig, BankingWorkload\n"
+        "w = BankingWorkload(BankingConfig(families=2, transfers=4, "
+        "bank_audits=1, creditor_audits=1, seed=0))\n"
+        "r = DistributedRuntime(w.programs, w.accounts, "
+        "DistributedPreventControl(w.nest), nodes=3, seed=0).run()\n"
+        "print(json.dumps([r.makespan, r.commits, r.aborts, r.messages]))\n"
+    )
+    results = []
+    for hash_seed in ("1", "6"):  # seed 6 used to livelock this workload
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        results.append(json.loads(proc.stdout))
+    assert results[0] == results[1]

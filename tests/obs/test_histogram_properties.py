@@ -1,0 +1,87 @@
+"""Property tests for the power-of-two histogram.
+
+The histogram's contract is conservative estimation: a percentile query
+returns the *upper bound* of the selected bucket clamped to the observed
+maximum, so it may overstate the true quantile (by at most the 2x bucket
+width) but must never understate it.  These properties pin that down
+over arbitrary sample sets, with the power-of-two bucket edges (2^k and
+2^k +- 1) — where off-by-one bucketing bugs live — explicitly favoured
+by the strategies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.obs import Histogram
+
+# Plain samples plus bucket-edge values: powers of two and both
+# neighbours, the exact spots where bit_length() bucketing flips.
+_EDGES = sorted(
+    {2**k + d for k in range(0, 40) for d in (-1, 0, 1) if 2**k + d >= 0}
+)
+samples = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=2**40), st.sampled_from(_EDGES)),
+    min_size=1,
+    max_size=200,
+)
+percentiles = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _true_quantile(values: list[int], p: float) -> int:
+    """The rank statistic percentile() targets: the ceil(p*n)-th smallest
+    sample (1-indexed), with rank clamped to [1, n]."""
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, math.ceil(p * len(ordered))))
+    return ordered[rank - 1]
+
+
+def _build(values: list[int]) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+@given(samples, percentiles)
+def test_percentile_never_understates(values, p):
+    hist = _build(values)
+    assert hist.percentile(p) >= _true_quantile(values, p)
+
+
+@given(samples, percentiles)
+def test_percentile_clamped_to_observed_max(values, p):
+    hist = _build(values)
+    estimate = hist.percentile(p)
+    assert estimate <= hist.max == max(values)
+    # And the overstatement is bounded by the bucket width: the estimate
+    # is at most the upper edge of the true quantile's bucket.
+    true = _true_quantile(values, p)
+    upper = 0 if true == 0 else (1 << int(true).bit_length()) - 1
+    assert estimate <= upper
+
+
+@given(st.integers(min_value=0, max_value=39), st.sampled_from((-1, 0, 1)),
+       st.integers(min_value=1, max_value=50), percentiles)
+def test_single_value_at_bucket_edges_is_exact(k, delta, copies, p):
+    # All-identical samples at 2^k + delta: every percentile must clamp
+    # to exactly that value, not the bucket's theoretical upper edge.
+    value = max(0, 2**k + delta)
+    hist = _build([value] * copies)
+    assert hist.percentile(p) == value
+
+
+@given(samples, samples, percentiles)
+def test_merge_equals_concatenation(left, right, p):
+    merged = _build(left).merge(_build(right))
+    concatenated = _build(left + right)
+    assert merged == concatenated  # bucket-exact, counts/total/max included
+    assert merged.percentile(p) == concatenated.percentile(p)
+
+
+@given(samples)
+def test_merge_into_empty_is_identity(values):
+    hist = _build(values)
+    assert Histogram().merge(hist) == hist

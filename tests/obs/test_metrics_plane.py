@@ -1,0 +1,445 @@
+"""The metrics plane: registry, phase profiler, exposition, spans.
+
+Four contracts under test:
+
+* **Registry semantics** — family identity, label discipline, and a
+  ``merge`` that mirrors ``Metrics.merge`` (counters add, gauges max,
+  histograms bucket-exact).
+* **Profiler arithmetic** — exclusive attribution under nesting,
+  checked against an injected fake clock with exact integers.
+* **Exposition** — ``prometheus_text`` output parses as Prometheus text
+  format (checked by a strict line grammar, not substring poking), and
+  ``json_snapshot`` round-trips losslessly.
+* **Behaviour invariance** — a registry+profiler-instrumented run is
+  bit-identical to a bare run, for every scheduler and for the
+  distributed runtime, and the trace-to-spans pipeline validates
+  against the Chrome trace-event schema.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.distributed import DistributedPreventControl, DistributedRuntime
+from repro.errors import SpecificationError
+from repro.obs import (
+    PHASES,
+    MetricsRegistry,
+    NullRegistry,
+    PhaseProfiler,
+    RingTracer,
+    chrome_trace,
+    json_snapshot,
+    prometheus_text,
+    registry_from_snapshot,
+    validate_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import NULL_PROFILER
+
+from .conftest import SCHEDULER_ZOO
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Registry semantics
+
+
+class TestRegistry:
+    def test_family_identity_and_conflict(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels=("scheduler",))
+        b = registry.counter("repro_x_total", labels=("scheduler",))
+        assert a is b  # uncoordinated components share one family
+        with pytest.raises(SpecificationError):
+            registry.gauge("repro_x_total", labels=("scheduler",))
+        with pytest.raises(SpecificationError):
+            registry.counter("repro_x_total", labels=("node",))
+        with pytest.raises(SpecificationError):
+            registry.counter("bad name")
+        with pytest.raises(SpecificationError):
+            registry.counter("repro_y_total", labels=("bad-label",))
+
+    def test_label_discipline(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_x_total", labels=("scheduler",))
+        family.labels(scheduler="serial").inc(3)
+        with pytest.raises(SpecificationError):
+            family.labels(node="n0")
+        assert registry.value("repro_x_total", scheduler="serial") == 3
+        # An untouched series reads as zero; a missing family as None.
+        assert registry.value("repro_x_total", scheduler="other") == 0
+        assert registry.value("repro_missing") is None
+
+    def test_counter_is_monotone(self):
+        child = MetricsRegistry().counter("repro_x_total").labels()
+        with pytest.raises(SpecificationError):
+            child.inc(-1)
+
+    def test_merge_mirrors_metrics_merge(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for registry, count, gauge, sample in (
+            (left, 2, 7, 3), (right, 5, 4, 200),
+        ):
+            registry.counter("repro_c_total", labels=("node",)).labels(
+                node="n0"
+            ).inc(count)
+            registry.gauge("repro_g", labels=("node",)).labels(
+                node="n0"
+            ).set(gauge)
+            registry.histogram("repro_h", labels=("node",)).labels(
+                node="n0"
+            ).observe(sample)
+        right.counter("repro_c_total", labels=("node",)).labels(
+            node="n1"
+        ).inc(11)
+
+        left.merge(right)
+        assert left.value("repro_c_total", node="n0") == 7  # counters add
+        assert left.value("repro_c_total", node="n1") == 11  # new series
+        assert left.value("repro_g", node="n0") == 7  # gauges take max
+        hist = left.value("repro_h", node="n0")
+        assert hist.count == 2 and hist.total == 203  # bucket-exact
+
+    def test_merge_is_reconstructible(self):
+        # Merging into a fresh registry reproduces the source exactly —
+        # the property registry_snapshot() relies on to avoid
+        # double-counting across repeated snapshots.
+        source = MetricsRegistry()
+        source.counter("repro_c_total").labels().inc(9)
+        source.histogram("repro_h").labels().observe(5)
+        merged = MetricsRegistry().merge(source)
+        assert json_snapshot(merged) == json_snapshot(source)
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        child = registry.counter("anything at all").labels(whatever="x")
+        child.inc()
+        child.observe(3)
+        assert child.value == 0
+        assert registry.families() == []
+        real = MetricsRegistry()
+        real.counter("repro_c_total").labels().inc()
+        assert registry.merge(real).families() == []
+
+
+# ---------------------------------------------------------------------------
+# Profiler arithmetic
+
+
+class TestPhaseProfiler:
+    def test_exclusive_attribution_under_nesting(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        with profiler.phase("schedule"):
+            clock.now = 10.0
+            with profiler.phase("closure"):
+                clock.now = 14.0
+            clock.now = 20.0
+        snap = profiler.snapshot()
+        assert snap["schedule"] == {"seconds": 16.0, "calls": 1}
+        assert snap["closure"] == {"seconds": 4.0, "calls": 1}
+        assert profiler.total() == 20.0  # exclusive: sums to wall time
+
+    def test_same_phase_nests_via_cached_span(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        # phase() hands out one cached span per name; re-entering the
+        # same phase must still balance the stack.
+        assert profiler.phase("rollback") is profiler.phase("rollback")
+        with profiler.phase("rollback"):
+            clock.now = 3.0
+            with profiler.phase("rollback"):
+                clock.now = 5.0
+            clock.now = 6.0
+        assert profiler.seconds["rollback"] == 6.0
+        assert profiler.calls["rollback"] == 2
+
+    def test_add_donates_out_of_open_phase(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        with profiler.phase("schedule"):
+            clock.now = 10.0
+            profiler.add("closure", 4.0)
+        # The donated interval is carved out of the enclosing phase.
+        assert profiler.seconds["closure"] == 4.0
+        assert profiler.seconds["schedule"] == 6.0
+        assert profiler.total() == 10.0
+
+    def test_unknown_phase_rejected(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        with pytest.raises(SpecificationError):
+            profiler.phase("sleeping")
+        with pytest.raises(SpecificationError):
+            profiler.add("sleeping", 1.0)
+
+    def test_merge_adds_seconds_and_calls(self):
+        a, b = PhaseProfiler(clock=FakeClock()), PhaseProfiler(clock=FakeClock())
+        a.add("network", 2.0)
+        b.add("network", 3.0)
+        b.add("certify", 1.0)
+        a.merge(b)
+        assert a.seconds["network"] == 5.0 and a.calls["network"] == 2
+        assert a.seconds["certify"] == 1.0 and a.calls["certify"] == 1
+
+    def test_publish_exports_every_phase(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        profiler.add("schedule", 2.5)
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        assert registry.value(
+            "repro_phase_seconds_total", phase="schedule"
+        ) == 2.5
+        for name in PHASES:
+            assert registry.value(
+                "repro_phase_calls_total", phase=name
+            ) == (1 if name == "schedule" else 0)
+
+    def test_null_profiler_is_inert(self):
+        assert not NULL_PROFILER.enabled
+        with NULL_PROFILER.phase("anything"):
+            pass
+        NULL_PROFILER.add("anything", 1.0)
+        assert NULL_PROFILER.total() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Exposition
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")"
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*)\})?"  # labels
+    r" (-?(?:[0-9]+(?:\.[0-9]+)?(?:e-?[0-9]+)?|\+Inf|-Inf|NaN))$"  # value
+)
+
+
+def _parse_prometheus(text: str) -> dict[str, dict]:
+    """A strict parser for the subset of the text exposition format we
+    emit: HELP/TYPE comments plus sample lines.  Raises on any line that
+    does not conform, and returns {metric name: {"type", "samples"}}."""
+    families: dict[str, dict] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name = rest.split(" ", 1)[0]
+            families.setdefault(name, {"type": None, "samples": []})
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            assert kind in ("counter", "gauge", "histogram"), kind
+            families.setdefault(name, {"type": None, "samples": []})
+            families[name]["type"] = kind
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable exposition line: {line!r}"
+            name, labels, value = match.groups()
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            owner = base if base in families else name
+            assert owner in families, f"sample {name!r} before its # TYPE"
+            families[owner]["samples"].append((name, labels, value))
+    return families
+
+
+class TestPrometheusExposition:
+    def test_text_parses_with_strict_grammar(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_commits_total", help="Committed transactions.",
+            labels=("scheduler",),
+        ).labels(scheduler="mla-detect").inc(7)
+        registry.gauge("repro_ticks", labels=("scheduler",)).labels(
+            scheduler="mla-detect"
+        ).set(41)
+        hist = registry.histogram(
+            "repro_commit_latency_ticks", labels=("scheduler",)
+        ).labels(scheduler="mla-detect")
+        for sample in (0, 1, 5, 9, 9):
+            hist.observe(sample)
+
+        families = _parse_prometheus(prometheus_text(registry))
+        assert families["repro_commits_total"]["type"] == "counter"
+        assert families["repro_ticks"]["type"] == "gauge"
+        assert families["repro_commit_latency_ticks"]["type"] == "histogram"
+        (sample,) = families["repro_commits_total"]["samples"]
+        assert sample == (
+            "repro_commits_total", 'scheduler="mla-detect"', "7"
+        )
+
+    def test_histogram_expansion_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h").labels()
+        for sample in (0, 1, 5, 9, 9):
+            hist.observe(sample)
+        samples = _parse_prometheus(prometheus_text(registry))["repro_h"][
+            "samples"
+        ]
+        buckets = [s for s in samples if s[0] == "repro_h_bucket"]
+        counts = [int(s[2]) for s in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1][1] == 'le="+Inf"'
+        assert counts[-1] == 5
+        # The finite bounds are the histogram's power-of-two upper edges.
+        finite = [s[1] for s in buckets[:-1]]
+        assert finite == ['le="0"', 'le="1"', 'le="3"', 'le="7"', 'le="15"']
+        assert ("repro_h_sum", None, "24") in samples
+        assert ("repro_h_count", None, "5") in samples
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels=("node",)).labels(
+            node='we"ird\\name\nline'
+        ).inc()
+        families = _parse_prometheus(prometheus_text(registry))
+        (sample,) = families["repro_x_total"]["samples"]
+        assert sample[1] == 'node="we\\"ird\\\\name\\nline"'
+
+    def test_json_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels=("scheduler",)).labels(
+            scheduler="2pl"
+        ).inc(3)
+        hist = registry.histogram("repro_h", labels=("scheduler",)).labels(
+            scheduler="2pl"
+        )
+        for sample in (1, 2, 300):
+            hist.observe(sample)
+        snapshot = json_snapshot(registry)
+        json.dumps(snapshot)  # must be JSON-serialisable as-is
+        rebuilt = registry_from_snapshot(snapshot)
+        assert json_snapshot(rebuilt) == snapshot
+        assert rebuilt.value("repro_h", scheduler="2pl").total == 303
+
+
+# ---------------------------------------------------------------------------
+# Behaviour invariance + span validation
+
+
+def _comparable(metrics) -> dict:
+    summary = metrics.summary()
+    summary.pop("closure_seconds", None)
+    return summary
+
+
+class TestMetricsDifferential:
+    @pytest.mark.parametrize("name", sorted(SCHEDULER_ZOO))
+    def test_instrumented_engine_run_identical(self, bank, name):
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler()
+        instrumented = bank.engine(
+            SCHEDULER_ZOO[name](bank.nest), seed=5,
+            registry=registry, profiler=profiler,
+        ).run()
+        bare = bank.engine(SCHEDULER_ZOO[name](bank.nest), seed=5).run()
+
+        assert instrumented.commit_order == bare.commit_order
+        assert _comparable(instrumented.metrics) == _comparable(bare.metrics)
+        # The registry agrees with the engine's own counters.
+        assert registry.value(
+            "repro_commits_total", scheduler=name
+        ) == bare.metrics.commits
+        assert registry.value(
+            "repro_steps_total", scheduler=name
+        ) == bare.metrics.steps_performed
+        # The profiler attributed real time to the scheduling phase.
+        assert profiler.calls["schedule"] > 0
+
+    def test_instrumented_cluster_identical_and_snapshot_stable(self, bank):
+        def cluster(**kwargs):
+            return DistributedRuntime(
+                bank.programs,
+                bank.accounts,
+                DistributedPreventControl(bank.nest),
+                nodes=3,
+                seed=4,
+                **kwargs,
+            )
+
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler()
+        runtime = cluster(registry=registry, profiler=profiler)
+        instrumented = runtime.run()
+        bare = cluster().run()
+
+        assert instrumented.summary() == bare.summary()
+        assert instrumented.messages_by_kind == bare.messages_by_kind
+        assert instrumented.makespan == bare.makespan
+
+        # registry_snapshot folds shared + per-node registries fresh on
+        # every call: two snapshots must agree exactly (no
+        # double-counting), and node counters must sum across nodes.
+        first = json_snapshot(runtime.registry_snapshot())
+        second = json_snapshot(runtime.registry_snapshot())
+        assert first == second
+        merged = runtime.registry_snapshot()
+        assert merged.value(
+            "repro_seq_commits_total", control="mla-prevent"
+        ) == instrumented.commits
+        performs = merged.get("repro_node_steps_performed_total")
+        assert performs is not None
+        series = performs.series()
+        assert len(series) == 3, "every node's registry must fold in"
+        assert sum(child.value for _, child in series) > 0
+
+    def test_engine_spans_validate_against_chrome_schema(self, bank, tmp_path):
+        tracer = RingTracer(capacity=None)
+        bank.engine(
+            SCHEDULER_ZOO["mla-detect"](bank.nest), seed=5, tracer=tracer
+        ).run()
+        events = tracer.events()
+        trace = chrome_trace(events)
+        validate_trace(trace)  # raises on any schema violation
+        assert trace["traceEvents"], "a real run must produce spans"
+
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(events, str(path))
+        with open(path, encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert written == len(on_disk["traceEvents"])
+        validate_trace(on_disk)
+
+    def test_distributed_spans_validate(self, bank):
+        tracer = RingTracer(capacity=None)
+        DistributedRuntime(
+            bank.programs,
+            bank.accounts,
+            DistributedPreventControl(bank.nest),
+            nodes=3,
+            seed=4,
+            tracer=tracer,
+        ).run()
+        trace = chrome_trace(tracer.events())
+        validate_trace(trace)
+        names = {event.get("name") for event in trace["traceEvents"]}
+        assert any("transfer" in str(name) or "audit" in str(name)
+                   for name in names)
+
+
+class TestValidateTraceRejections:
+    def test_missing_required_key(self):
+        with pytest.raises(SpecificationError):
+            validate_trace({"traceEvents": [{"ph": "i", "pid": 1, "tid": 1}]})
+
+    def test_non_monotone_ts(self):
+        events = [
+            {"ph": "i", "pid": 1, "tid": 1, "ts": 5, "s": "t"},
+            {"ph": "i", "pid": 1, "tid": 1, "ts": 4, "s": "t"},
+        ]
+        with pytest.raises(SpecificationError):
+            validate_trace({"traceEvents": events})
+
+    def test_unbalanced_begin(self):
+        events = [{"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "x"}]
+        with pytest.raises(SpecificationError):
+            validate_trace({"traceEvents": events})

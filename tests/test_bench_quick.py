@@ -1,10 +1,12 @@
 """Smoke wiring for the quick benchmark collection.
 
 Runs ``benchmarks/collect_results.py --quick``'s reduced E1/E10 workload
-as part of the test suite and writes ``BENCH_PR2.json`` at the repo
-root.  Correctness (verdicts, closure activity) is *asserted* inside the
-runner; timing regressions against the seed baselines only *warn* — CI
-machines are too noisy for hard timing gates.
+as part of the test suite and writes ``BENCH.json`` at the repo root.
+Correctness (verdicts, closure activity, behaviour-invariance of the
+trace and metrics planes, the overhead budgets) is *asserted* inside the
+runner; timing regressions — against the seed baselines and against the
+previous run's history entry — only *warn*, because CI machines are too
+noisy for hard timing gates.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import collect_results  # noqa: E402
 def test_quick_bench_smoke():
     data = collect_results.write_quick()
     assert os.path.exists(collect_results.QUICK_TARGET)
+    assert collect_results.QUICK_TARGET.endswith("BENCH.json")
     with open(collect_results.QUICK_TARGET, encoding="utf-8") as handle:
         assert json.load(handle) == data
     assert data["timings_ms"]["e1_accept"]
@@ -45,6 +48,22 @@ def test_quick_bench_smoke():
     }
     assert all(count > 0 for count in trace["events_per_run"].values())
     assert trace["disabled_overhead_worst_pct"] < 3.0
+    # The metrics-plane smoke must have instrumented every scheduler and
+    # stayed inside the enabled-overhead budget (behaviour invariance
+    # and registry agreement are asserted in the runner).
+    obs = data["obs"]
+    assert set(obs["instrumented_work"]) == set(trace["events_per_run"])
+    assert all(
+        counts["counter_incs"] > 0
+        for counts in obs["instrumented_work"].values()
+    )
+    assert obs["enabled_overhead_aggregate_pct"] < 5.0
+    # Every run appends a history entry stamped with git SHA + date.
+    assert data["history"], "BENCH.json history must never be empty"
+    latest = data["history"][-1]
+    assert latest["sha"]
+    assert latest["date"]
+    assert latest["timings_ms"] == data["timings_ms"]
     for key, factor in data["speedup_vs_seed"].items():
         if factor < 1.0:
             warnings.warn(
@@ -52,3 +71,9 @@ def test_quick_bench_smoke():
                 "than the seed baseline (timing-only, not a failure)",
                 stacklevel=1,
             )
+    for message in data["regressions_vs_previous"]:
+        warnings.warn(
+            f"quick benchmark regression vs previous run: {message} "
+            "(timing-only, not a failure)",
+            stacklevel=1,
+        )

@@ -93,3 +93,108 @@ class TestSweepAndAdmission:
         ]) == 0
         out = capsys.readouterr().out
         assert "nest depth" in out
+
+
+class TestMetricsCommand:
+    def test_prometheus_output(self, capsys):
+        assert main([
+            "metrics", "--transfers", "4", "--families", "2", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_commits_total counter" in out
+        assert 'scheduler="mla-detect"' in out
+        assert "# TYPE repro_phase_seconds_total counter" in out
+
+    def test_json_output_round_trips(self, capsys):
+        import json
+
+        from repro.obs import registry_from_snapshot
+
+        assert main([
+            "metrics", "--transfers", "4", "--families", "2",
+            "--format", "json",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        registry = registry_from_snapshot(snapshot)
+        assert registry.value("repro_commits_total", scheduler="mla-detect")
+
+    def test_out_file(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        assert main([
+            "metrics", "--transfers", "4", "--families", "2", "--out", path,
+        ]) == 0
+        with open(path, encoding="utf-8") as handle:
+            assert "repro_commits_total" in handle.read()
+
+    def test_distributed_mode_merges_node_registries(self, capsys):
+        assert main([
+            "metrics", "--distributed", "--scheduler", "mla-prevent",
+            "--transfers", "4", "--families", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_seq_commits_total" in out
+        assert "repro_node_steps_performed_total" in out
+        assert 'node="node0"' in out
+
+    def test_distributed_rejects_unknown_control(self):
+        with pytest.raises(SystemExit):
+            main([
+                "metrics", "--distributed", "--scheduler", "timestamp",
+                "--transfers", "3",
+            ])
+
+
+class TestSpansCommand:
+    def test_engine_spans_file_validates(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        path = str(tmp_path / "trace.json")
+        assert main([
+            "spans", "--transfers", "4", "--families", "2", "--out", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        validate_trace(trace)
+        assert trace["traceEvents"]
+
+    def test_distributed_spans(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert main([
+            "spans", "--distributed", "--scheduler", "2pl",
+            "--transfers", "4", "--families", "2", "--out", path,
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_engine_dashboard_runs_to_completion(self, capsys):
+        assert main([
+            "top", "--transfers", "4", "--families", "2", "--no-clear",
+            "--batch", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "commits" in out
+        assert "phase time (exclusive):" in out
+        assert "schedule" in out
+        assert "finished at tick" in out
+
+    def test_engine_dashboard_respects_max_frames(self, capsys):
+        assert main([
+            "top", "--transfers", "6", "--no-clear", "--batch", "1",
+            "--max-frames", "2",
+        ]) == 1
+        assert "stopped after 2 frames" in capsys.readouterr().out
+
+    def test_distributed_dashboard(self, capsys):
+        assert main([
+            "top", "--distributed", "--scheduler", "mla-prevent",
+            "--transfers", "4", "--families", "2", "--no-clear",
+            "--batch", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node" in out
+        assert "quiesced" in out or "commits" in out
