@@ -9,9 +9,12 @@ Usage: ``python benchmarks/collect_results.py`` (after running
 
 ``python benchmarks/collect_results.py --quick`` instead runs a reduced
 smoke workload (E1 at <=400 steps, E10 at <=120 steps, plus the E14
-distributed fault smoke, the flight-recorder trace smoke and the
-metrics-plane obs smoke) against the seed baselines and writes
-``BENCH.json`` at the repository root — correctness is asserted, timings
+distributed fault smoke, the flight-recorder trace smoke, the
+metrics-plane obs smoke and the E15 service smoke — a few hundred
+transactions through a live socket server with SLOs asserted and the
+committed history checked bit-identical against a library replay)
+against the seed baselines and writes ``BENCH.json`` at the repository
+root — correctness is asserted, timings
 are recorded with speedup factors, and every run appends a ``history``
 entry (git SHA + date + timings) so slowdowns against the *previous* run
 are surfaced as warnings.
@@ -92,6 +95,7 @@ ORDER = [
     "e12_recovery_unit",
     "e13_nested_locking",
     "e14_fault_sweep",
+    "e15_soak",
 ]
 
 HEADER = """# EXPERIMENTS — measured results
@@ -405,6 +409,7 @@ def run_quick(
     import bench_e1_checker_scaling as e1
     import bench_e10_closure_ablation as e10
     import bench_e14_fault_sweep as e14
+    import bench_e15_soak as e15
     from repro.core import check_correctability
 
     timings: dict[str, dict[str, float]] = {
@@ -450,6 +455,16 @@ def run_quick(
         assert faulty.results == base.results, (
             f"E14 smoke results diverged under faults ({label})"
         )
+    # E15 smoke: a few hundred transactions through a live socket server
+    # (admission window, batched ticks, backpressure); ``smoke`` asserts
+    # the latency/abort SLOs and that the committed history is
+    # bit-identical to the library replay of the recorded arrivals.
+    start = time.perf_counter()
+    service_summary = e15.smoke()
+    timings["e15_service_smoke"] = {
+        str(service_summary["transactions"]):
+            (time.perf_counter() - start) * 1000,
+    }
     baselines = seed_baselines()
     speedups = {
         f"{key}_{size}": round(base / timings[key][size], 2)
@@ -472,9 +487,13 @@ def run_quick(
             "obs": "metrics-plane smoke (one instrumented banking run "
                    "per scheduler: behaviour-invariance, registry "
                    "agreement, enabled-overhead budget)",
+            "e15": "service smoke (socket server ingest: SLOs asserted, "
+                   "committed history bit-identical to the library "
+                   "replay)",
         },
         "trace": trace_smoke(),
         "obs": obs_smoke(),
+        "service": service_summary,
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}
             for key, sizes in timings.items()
@@ -520,6 +539,10 @@ def write_quick(path: str = QUICK_TARGET) -> dict:
         except (OSError, ValueError):
             old = None
         if isinstance(old, dict):
+            # The full E15 soak (bench_e15_soak.py) writes its section
+            # out of band; a quick run must not drop it.
+            if "e15_soak" in old:
+                data["e15_soak"] = old["e15_soak"]
             history = [
                 entry for entry in old.get("history", [])
                 if isinstance(entry, dict)

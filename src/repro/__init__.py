@@ -46,6 +46,16 @@ Quickstart
     print(db.is_atomic(run), db.is_correctable(run))
 """
 
+from repro.api import (
+    ENVELOPE_STATUSES,
+    SCHEDULER_FACTORIES,
+    ProgramSpec,
+    ResultEnvelope,
+    Submission,
+    envelopes_from_engine,
+    make_scheduler,
+    run_workload,
+)
 from repro.errors import (
     DeadlockDetected,
     EngineError,
@@ -63,6 +73,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "ProgramSpec",
+    "Submission",
+    "ResultEnvelope",
+    "ENVELOPE_STATUSES",
+    "SCHEDULER_FACTORIES",
+    "make_scheduler",
+    "run_workload",
+    "envelopes_from_engine",
     "ReproError",
     "SpecificationError",
     "NotAPartialOrderError",

@@ -40,15 +40,7 @@ import argparse
 import sys
 
 from repro.analysis import classify_execution, format_table
-from repro.engine import (
-    MLADetectScheduler,
-    MLAPreventScheduler,
-    NestedLockScheduler,
-    Scheduler,
-    SerialScheduler,
-    TimestampScheduler,
-    TwoPhaseLockingScheduler,
-)
+from repro.api import SCHEDULER_FACTORIES, make_scheduler, run_workload
 from repro.workloads import (
     BankingConfig,
     BankingWorkload,
@@ -61,15 +53,9 @@ from repro.workloads import (
 
 __all__ = ["main"]
 
-SCHEDULERS = {
-    "serial": lambda nest: SerialScheduler(),
-    "2pl": lambda nest: TwoPhaseLockingScheduler(),
-    "timestamp": lambda nest: TimestampScheduler(),
-    "mla-detect": lambda nest: MLADetectScheduler(nest),
-    "mla-prevent": lambda nest: MLAPreventScheduler(nest),
-    "mla-nested-lock": lambda nest: NestedLockScheduler(nest),
-    "none": lambda nest: Scheduler(),
-}
+#: Back-compat alias: the scheduler table lives in :mod:`repro.api` now,
+#: so the CLI and the service accept exactly the same names.
+SCHEDULERS = SCHEDULER_FACTORIES
 
 
 def _build_workload(args):
@@ -107,10 +93,24 @@ def cmd_schedulers(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import json
+
     workload = _build_workload(args)
-    scheduler = SCHEDULERS[args.scheduler](workload.nest)
-    result = workload.engine(scheduler, seed=args.seed).run()
+    result = run_workload(workload, args.scheduler, seed=args.seed)
     report = _classify(workload, result)
+    if args.json:
+        payload = result.to_dict()
+        payload["workload"] = args.workload
+        payload["scheduler"] = args.scheduler
+        payload["seed"] = args.seed
+        payload["classification"] = {
+            key: value for key, value in report.as_row().items()
+        }
+        payload["invariant_violations"] = workload.invariant_violations(
+            result
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.multilevel_correctable or args.scheduler == "none" else 1
     print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
           f"seed: {args.seed}")
     print(f"committed {result.metrics.commits} transactions in "
@@ -126,10 +126,8 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     workload = _build_workload(args)
     rows = []
-    for name, factory in SCHEDULERS.items():
-        result = workload.engine(
-            factory(workload.nest), seed=args.seed
-        ).run()
+    for name in SCHEDULERS:
+        result = run_workload(workload, name, seed=args.seed)
         report = _classify(workload, result)
         violations = workload.invariant_violations(result)
         rows.append([
@@ -177,11 +175,10 @@ def cmd_trace(args) -> int:
     )
 
     workload = _build_workload(args)
-    scheduler = SCHEDULERS[args.scheduler](workload.nest)
     tracer = RingTracer(capacity=None)
-    result = workload.engine(
-        scheduler, seed=args.seed, tracer=tracer
-    ).run()
+    result = run_workload(
+        workload, args.scheduler, seed=args.seed, tracer=tracer
+    )
     events = tracer.events()
     metrics = result.metrics
     print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
@@ -260,6 +257,7 @@ def cmd_metrics(args) -> int:
         MetricsRegistry,
         PhaseProfiler,
         json_snapshot,
+        live_registry_snapshot,
         prometheus_text,
     )
 
@@ -271,17 +269,18 @@ def cmd_metrics(args) -> int:
             args, workload, registry=registry, profiler=profiler
         )
         runtime.run()
-        registry = runtime.registry_snapshot()
+        source = runtime
     else:
-        scheduler = SCHEDULERS[args.scheduler](workload.nest)
-        workload.engine(
-            scheduler, seed=args.seed, registry=registry, profiler=profiler
-        ).run()
-    profiler.publish(registry)
+        run_workload(
+            workload, args.scheduler, seed=args.seed,
+            registry=registry, profiler=profiler,
+        )
+        source = registry
+    snapshot = live_registry_snapshot(source, profiler)
     if args.format == "json":
-        text = json.dumps(json_snapshot(registry), indent=2, sort_keys=True)
+        text = json.dumps(json_snapshot(snapshot), indent=2, sort_keys=True)
     else:
-        text = prometheus_text(registry)
+        text = prometheus_text(snapshot)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -302,8 +301,9 @@ def cmd_spans(args) -> int:
         result = _build_distributed(args, workload, tracer=tracer).run()
         commits, aborts = result.commits, result.aborts
     else:
-        scheduler = SCHEDULERS[args.scheduler](workload.nest)
-        result = workload.engine(scheduler, seed=args.seed, tracer=tracer).run()
+        result = run_workload(
+            workload, args.scheduler, seed=args.seed, tracer=tracer
+        )
         commits, aborts = result.metrics.commits, result.metrics.aborts
     events = tracer.events()
     validate_trace(chrome_trace(events))
@@ -372,7 +372,9 @@ def _engine_frame(args, engine, registry, profiler) -> list[str]:
 
 
 def _distributed_frame(args, runtime, profiler, now: float) -> list[str]:
-    snapshot = runtime.registry_snapshot()
+    from repro.obs import live_registry_snapshot
+
+    snapshot = live_registry_snapshot(runtime)
     control = runtime.control.name
     commits = snapshot.value("repro_seq_commits_total", control=control) or 0
     aborts = snapshot.value("repro_seq_aborts_total", control=control) or 0
@@ -429,9 +431,9 @@ def cmd_top(args) -> int:
               f"commits={result.commits} aborts={result.aborts} "
               f"messages={result.messages}")
         return 0
-    scheduler = SCHEDULERS[args.scheduler](workload.nest)
     engine = workload.engine(
-        scheduler, seed=args.seed, registry=registry, profiler=profiler
+        make_scheduler(args.scheduler, workload.nest),
+        seed=args.seed, registry=registry, profiler=profiler,
     )
     budget = 0
     result = None
@@ -451,6 +453,93 @@ def cmd_top(args) -> int:
           f"commits={metrics.commits} aborts={metrics.aborts} "
           f"waits={metrics.waits}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import AdmissionConfig, ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        nest_depth=args.nest_depth,
+        tick_batch=args.batch,
+        admission=AdmissionConfig(window=args.window),
+    )
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        ready: asyncio.Future = loop.create_future()
+        task = asyncio.ensure_future(serve(config, ready=ready))
+        port = await ready
+        print(f"serving on {config.host}:{port} "
+              f"(scheduler={config.scheduler}, "
+              f"window={config.admission.window}, "
+              f"nest depth={config.nest_depth})")
+        sys.stdout.flush()
+        service = await task
+        health = service.health()
+        print(f"shut down at tick {health['tick']}: "
+              f"committed={health['committed']} "
+              f"admitted={health['admission']['admitted']}")
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted")
+        return 130
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.api import ProgramSpec, Submission
+    from repro.service import ServiceClient
+
+    if args.traffic:
+        from repro.workloads import (
+            TrafficConfig,
+            drive_sync,
+            traffic_submissions,
+        )
+
+        config = TrafficConfig(
+            transactions=args.traffic,
+            seed=args.seed,
+            contention=args.contention,
+            name_prefix=args.prefix,
+        )
+        stats = drive_sync(
+            args.host, args.port, traffic_submissions(config),
+            connections=args.connections, batch=args.batch,
+        )
+        envelopes = stats["envelopes"]
+        done = sum(
+            1 for e in envelopes if e["status"] in ("committed", "restarted")
+        )
+        print(f"submitted {len(envelopes)} transactions: committed={done} "
+              f"retries={stats['retries']} gave_up={len(stats['gave_up'])}")
+        return 0 if done == args.traffic else 1
+    if not args.program:
+        raise SystemExit("submit needs --program JSON or --traffic N")
+    text = args.program
+    if text == "-":
+        text = sys.stdin.read()
+    elif text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as handle:
+            text = handle.read()
+    spec = ProgramSpec.from_json(text)
+    submission = Submission(
+        program=spec, client_id=args.client, idempotency_key=args.key
+    )
+    with ServiceClient(args.host, args.port) as client:
+        response = client.submit(submission)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def _add_workload_arguments(parser) -> None:
@@ -476,6 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(run)
     run.add_argument(
         "--scheduler", choices=sorted(SCHEDULERS), default="mla-detect"
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the EngineResult serialization instead of the table",
     )
     run.set_defaults(func=cmd_run)
 
@@ -574,6 +667,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="never clear the screen; print frames sequentially",
     )
     top.set_defaults(func=cmd_top)
+
+    serve = sub.add_parser(
+        "serve", help="run the ingest server (stop with the shutdown op)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="2pl"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--nest-depth", type=int, default=1,
+        help="hierarchy path length all submissions must carry (default 1)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=32,
+        help="admission window: max in-flight submissions (default 32; "
+        "wider windows slow the tick engine down under contention)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=256,
+        help="engine ticks per pump slice (default 256)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a program (or generated traffic) to a server"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument(
+        "--program", default=None,
+        help="ProgramSpec JSON (literal, @file, or - for stdin)",
+    )
+    submit.add_argument("--client", default="cli")
+    submit.add_argument(
+        "--key", default="",
+        help="idempotency key (default: the program name)",
+    )
+    submit.add_argument(
+        "--traffic", type=int, default=0, metavar="N",
+        help="instead of one program, drive N generated transactions",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--contention", type=float, default=0.1)
+    submit.add_argument("--prefix", default="s")
+    submit.add_argument(
+        "--connections", type=int, default=4,
+        help="concurrent connections for --traffic (default 4)",
+    )
+    submit.add_argument(
+        "--batch", type=int, default=32,
+        help="submissions per submit_batch request (default 32)",
+    )
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

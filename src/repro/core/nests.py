@@ -24,7 +24,7 @@ from repro.errors import SpecificationError
 
 T = TypeVar("T", bound=Hashable)
 
-__all__ = ["KNest"]
+__all__ = ["KNest", "PathNest"]
 
 
 class KNest:
@@ -280,3 +280,185 @@ class KNest:
 
     def __repr__(self) -> str:
         return f"KNest(k={self._k}, items={len(self._items)})"
+
+
+class PathNest:
+    """A growable k-nest over fixed-depth hierarchy paths.
+
+    :class:`KNest` is immutable — the right shape for the paper's closed
+    experiments, but an open system admitting transactions one at a time
+    would pay a full ``from_paths`` rebuild (linear in every item ever
+    admitted) per arrival.  ``PathNest`` keeps the *path* encoding as its
+    primary representation: adding an item is O(depth) prefix interning,
+    ``level``/``class_id`` queries are O(depth) with no per-item scans,
+    and the class structure agrees with ``KNest.from_paths`` over the
+    same mapping (property-tested against that oracle).
+
+    Levels mean exactly what ``from_paths`` makes them mean: two distinct
+    items are ``pi(i)``-equivalent iff their paths agree on the first
+    ``i - 1`` labels, level 1 relates everything, and level
+    ``k = depth + 2`` is the singleton partition.
+    """
+
+    __slots__ = ("_depth", "_k", "_paths", "_prefix_ids", "_item_ids")
+
+    def __init__(self, depth: int) -> None:
+        if depth < 0:
+            raise SpecificationError("path depth must be non-negative")
+        self._depth = depth
+        self._k = depth + 2
+        self._paths: dict[T, tuple[Hashable, ...]] = {}
+        # _prefix_ids[j] interns length-(j + 1) prefixes for level j + 2.
+        self._prefix_ids: list[dict[tuple, int]] = [
+            {} for _ in range(depth)
+        ]
+        self._item_ids: dict[T, int] = {}
+
+    @classmethod
+    def from_paths(cls, paths: Mapping[T, Sequence[Hashable]]) -> "PathNest":
+        """Seed a growable nest from an initial path mapping (the same
+        input shape as :meth:`KNest.from_paths`)."""
+        if not paths:
+            raise SpecificationError("from_paths needs at least one item")
+        lengths = {len(p) for p in paths.values()}
+        if len(lengths) != 1:
+            raise SpecificationError(
+                f"all paths must have equal length, got lengths {sorted(lengths)}"
+            )
+        nest = cls(lengths.pop())
+        for item, path in paths.items():
+            nest.add(item, path)
+        return nest
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+
+    def add(self, item: T, path: Sequence[Hashable]) -> None:
+        """Admit ``item`` at ``path``.  Re-adding with the same path is a
+        no-op; a conflicting path is an error (an item cannot move)."""
+        path = tuple(path)
+        if len(path) != self._depth:
+            raise SpecificationError(
+                f"path for {item!r} has length {len(path)}, nest depth is "
+                f"{self._depth}"
+            )
+        known = self._paths.get(item)
+        if known is not None:
+            if known != path:
+                raise SpecificationError(
+                    f"item {item!r} already placed at {known!r}"
+                )
+            return
+        self._paths[item] = path
+        self._item_ids[item] = len(self._item_ids)
+        for j in range(self._depth):
+            prefix = path[: j + 1]
+            ids = self._prefix_ids[j]
+            if prefix not in ids:
+                ids[prefix] = len(ids)
+
+    # ------------------------------------------------------------------
+    # queries (the KNest surface the engine path consumes)
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def items(self) -> frozenset:
+        return frozenset(self._paths)
+
+    def path_of(self, x: T) -> tuple[Hashable, ...]:
+        self._require(x)
+        return self._paths[x]
+
+    def level(self, x: T, y: T) -> int:
+        """O(depth): ``min(lcp(paths) + 1, k - 1)`` for distinct items,
+        ``k`` on the diagonal — the ``from_paths`` relation."""
+        self._require(x)
+        self._require(y)
+        if x == y:
+            return self._k
+        px, py = self._paths[x], self._paths[y]
+        agree = 0
+        for a, b in zip(px, py):
+            if a != b:
+                break
+            agree += 1
+        return agree + 1
+
+    def class_id(self, i: int, x: T) -> int:
+        self._require_level(i)
+        self._require(x)
+        if i == 1:
+            return 0
+        if i == self._k:
+            return self._item_ids[x]
+        return self._prefix_ids[i - 2][self._paths[x][: i - 1]]
+
+    def same_class(self, i: int, x: T, y: T) -> bool:
+        self._require_level(i)
+        self._require(x)
+        self._require(y)
+        if i == 1:
+            return True
+        if i == self._k:
+            return x == y
+        return self._paths[x][: i - 1] == self._paths[y][: i - 1]
+
+    def class_of(self, i: int, x: T) -> frozenset:
+        """O(n) scan — fine for inspection, not for the hot path."""
+        self._require_level(i)
+        self._require(x)
+        if i == self._k:
+            return frozenset((x,))
+        prefix = self._paths[x][: i - 1]
+        return frozenset(
+            item
+            for item, path in self._paths.items()
+            if path[: i - 1] == prefix
+        )
+
+    def restrict(self, items: Iterable[T]) -> KNest:
+        """Materialise the induced (small, immutable) nest on a subset.
+
+        The closure window calls this with only its live-window
+        transactions, so the open system's per-check cost stays bounded
+        by the window size, never by total admissions.
+        """
+        keep = set(items)
+        missing = keep - set(self._paths)
+        if missing:
+            raise SpecificationError(
+                f"unknown items: {sorted(map(repr, missing))}"
+            )
+        if not keep:
+            raise SpecificationError("cannot restrict a nest to the empty set")
+        return KNest.from_paths({item: self._paths[item] for item in keep})
+
+    def to_knest(self) -> KNest:
+        """The equivalent immutable nest over everything admitted so far."""
+        return KNest.from_paths(dict(self._paths))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _require(self, x: T) -> None:
+        if x not in self._paths:
+            raise SpecificationError(f"unknown item: {x!r}")
+
+    def _require_level(self, i: int) -> None:
+        if not 1 <= i <= self._k:
+            raise SpecificationError(f"level must be in [1, {self._k}], got {i}")
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._paths
+
+    def __repr__(self) -> str:
+        return f"PathNest(k={self._k}, items={len(self._paths)})"

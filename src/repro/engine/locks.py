@@ -34,6 +34,15 @@ class LockManager:
 
     def __init__(self) -> None:
         self._locks: dict[str, _Lock] = {}
+        # Per owner: entities it holds or waits on (insertion-ordered),
+        # so releasing scans only the owner's footprint rather than
+        # every lock ever created.
+        self._owned: dict[str, dict[str, None]] = {}
+        # The last waits-for edge set proven acyclic.  Acyclicity
+        # depends only on the edge *set*, so while the set is unchanged
+        # (the common case: a blocked transaction re-requesting each
+        # tick) detection is a set comparison, not a graph search.
+        self._acyclic_sig: frozenset | None = None
 
     # ------------------------------------------------------------------
 
@@ -81,9 +90,11 @@ class LockManager:
         if self._compatible(lock, owner, mode) and (upgrading or not ahead):
             lock.holders[owner] = mode
             lock.waiters = [w for w in lock.waiters if w[0] != owner]
+            self._owned.setdefault(owner, {})[entity] = None
             return True
         if not any(w[0] == owner for w in lock.waiters):
             lock.waiters.append((owner, mode))
+            self._owned.setdefault(owner, {})[entity] = None
         else:
             # Keep the strongest requested mode.
             lock.waiters = [
@@ -94,9 +105,13 @@ class LockManager:
 
     def release_all(self, owner: str) -> list[str]:
         """Release everything ``owner`` holds or waits for; returns the
-        entities whose queues may now make progress."""
+        entities whose queues may now make progress (order unspecified,
+        possibly with duplicates — callers treat it as a set)."""
         touched = []
-        for entity, lock in self._locks.items():
+        for entity in self._owned.pop(owner, ()):
+            lock = self._locks.get(entity)
+            if lock is None:
+                continue
             if owner in lock.holders:
                 del lock.holders[owner]
                 touched.append(entity)
@@ -121,11 +136,21 @@ class LockManager:
         return edges
 
     def deadlock_cycle(self) -> list[str] | None:
-        """One waits-for cycle (as a list of owners), or None."""
-        graph = nx.DiGraph(self.waits_for_edges())
+        """One waits-for cycle (as a list of owners), or None.
+
+        Results are memoised on the acyclic side only: cycle *identity*
+        can depend on edge order, but "no cycle" depends only on the
+        edge set, so an unchanged set short-circuits the search.
+        """
+        edges = self.waits_for_edges()
+        sig = frozenset(edges)
+        if sig == self._acyclic_sig:
+            return None
+        graph = nx.DiGraph(edges)
         try:
             cycle = nx.find_cycle(graph)
         except nx.NetworkXNoCycle:
+            self._acyclic_sig = sig
             return None
         return [u for u, _ in cycle]
 

@@ -25,6 +25,9 @@ cascade bugs cannot silently corrupt experiment results.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 import random
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
@@ -131,6 +134,59 @@ class EngineResult:
         """The interleaving specification of the committed execution."""
         return spec_for_execution(self.execution, nest, self.cut_levels)
 
+    def history_digest(self) -> str:
+        """SHA-256 over the canonical committed history.
+
+        Two runs produced the *same execution* exactly when their digests
+        agree: the digest covers every performed record in order —
+        transaction, step index, entity, access kind and both values —
+        so it is the one-line witness the service/library differential
+        compares (bit-identical histories, not just equal aggregates).
+        """
+        canon = [
+            [
+                r.step.transaction,
+                r.step.index,
+                r.entity,
+                r.kind.value,
+                repr(r.value_before),
+                repr(r.value_after),
+            ]
+            for r in self.execution.records
+        ]
+        blob = json.dumps(canon, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A stable, JSON-safe serialization of the outcome.
+
+        This is the one encoding shared by ``repro run --json`` and the
+        service result envelopes — not an ad-hoc per-caller dict.  Cut
+        levels use string gap keys (JSON objects cannot key on ints) and
+        non-finite metric values (the zero-commit ``abort_rate``) map to
+        ``None`` so the output is strict JSON.
+        """
+        metrics = {
+            key: (
+                None
+                if isinstance(value, float) and not math.isfinite(value)
+                else value
+            )
+            for key, value in self.metrics.summary().items()
+        }
+        return {
+            "partial": self.partial,
+            "commit_order": list(self.commit_order),
+            "results": dict(self.results),
+            "cut_levels": {
+                txn: {str(gap): level for gap, level in sorted(cuts.items())}
+                for txn, cuts in sorted(self.cut_levels.items())
+            },
+            "steps": len(self.execution.records),
+            "history_sha256": self.history_digest(),
+            "metrics": metrics,
+        }
+
 
 class Engine:
     """Run transaction programs under a concurrency control.
@@ -218,19 +274,41 @@ class Engine:
         self._last_progress = 0
         arrivals = dict(arrivals or {})
         self.txns: dict[str, TxnState] = {}
+        # Uncommitted transactions, in registration order.  The tick loop
+        # iterates this instead of ``txns`` so a long-lived open-system
+        # engine pays per-tick cost proportional to the in-flight window,
+        # not to every transaction it has ever committed.
+        self._active: dict[str, TxnState] = {}
         for program in programs:
             if program.name in self.txns:
                 raise EngineError(f"duplicate transaction {program.name!r}")
             arrival = arrivals.get(program.name, 0)
-            self.txns[program.name] = TxnState(
+            state = TxnState(
                 program=program,
                 arrival_tick=arrival,
                 live=_LiveTransaction(program),
                 attempt_start_tick=arrival,
                 wake_tick=arrival,
             )
-        # Live (not rolled back) performed records, in global order.
-        self._log: list[_LogEntry] = []
+            self.txns[program.name] = state
+            self._active[program.name] = state
+        # Live (not rolled back) performed records, split by commit
+        # status.  Uncommitted attempts' records stay in ``_live_log``
+        # (global performance order); a committing attempt's records move
+        # to ``_committed_log``, where no abort can ever reach them (the
+        # recoverability check forbids committed cascade members).  The
+        # split is what keeps abort-time cascade work proportional to the
+        # in-flight window instead of to the whole history — essential
+        # for the open-system service, whose log otherwise grows without
+        # bound while aborts scan it end to end.
+        self._live_log: list[_LogEntry] = []
+        self._committed_log: list[_LogEntry] = []
+        # Per entity: (seq, key) of the latest committed access.  A
+        # doomed write older than this watermark means a committed
+        # attempt consumed state we are about to roll back — the same
+        # recoverability violation the full-log closure used to detect
+        # by pulling the committed key into the cascade.
+        self._committed_access: dict[str, tuple[int, tuple[str, int]]] = {}
         # Last uncommitted writer per entity, as (name, attempt).
         self._last_writer: dict[str, tuple[str, int]] = {}
         self._committed_keys: set[tuple[str, int]] = set()
@@ -301,13 +379,60 @@ class Engine:
         uncommitted attempts — the open-system mode for the paper's
         arbitrarily long (even infinite) transactions.
         """
+        quiesced = self.advance(until_tick)
+        return self._result(partial=not quiesced)
+
+    def add_program(
+        self,
+        program: TransactionProgram,
+        arrival_tick: int | None = None,
+    ) -> TxnState:
+        """Register a transaction on a live engine (open-system ingest).
+
+        The arrival defaults to ``tick + 1``: the first tick the loop has
+        not yet processed.  That makes dynamic admission *equivalent to
+        up-front construction* with the same ``arrivals`` mapping — a
+        transaction whose wake tick lies in the future is never a
+        scheduling candidate, so it cannot perturb the seeded rng stream
+        before it arrives, and ticks already processed are identical in
+        both runs.  The service/library bit-identical differential rests
+        on exactly this property.
+        """
+        if program.name in self.txns:
+            raise EngineError(f"duplicate transaction {program.name!r}")
+        arrival = self.tick + 1 if arrival_tick is None else arrival_tick
+        if arrival <= self.tick:
+            raise EngineError(
+                f"arrival tick {arrival} already processed (now {self.tick})"
+            )
+        state = TxnState(
+            program=program,
+            arrival_tick=arrival,
+            live=_LiveTransaction(program),
+            attempt_start_tick=arrival,
+            wake_tick=arrival,
+        )
+        self.txns[program.name] = state
+        self._active[program.name] = state
+        return state
+
+    def advance(self, until_tick: int | None = None) -> bool:
+        """Run the tick loop; True when the engine quiesced (every
+        registered transaction committed), False when the budget ran out.
+
+        This is :meth:`run` without result assembly: a pump slicing a
+        long run into many small advances (``repro top``, the service
+        batcher) calls this per slice and pays for the full Execution
+        rebuild + re-validation only once, when it finally wants the
+        :class:`EngineResult`.
+        """
         self.scheduler.attach(self)
-        while not all(t.committed for t in self.txns.values()):
+        while self._active:
             if until_tick is not None and self.tick >= until_tick:
                 self.metrics.ticks = self.tick
                 if self._mx is not None:
                     self._mx["ticks"].set(self.tick)
-                return self._result(partial=True)
+                return False
             self.tick += 1
             if self.tick > self.max_ticks:
                 raise EngineError(
@@ -315,8 +440,8 @@ class Engine:
                 )
             candidates = [
                 t
-                for t in self.txns.values()
-                if not t.committed and t.wake_tick <= self.tick
+                for t in self._active.values()
+                if t.wake_tick <= self.tick
             ]
             if not candidates:
                 continue
@@ -361,21 +486,38 @@ class Engine:
         self.metrics.ticks = self.tick
         if self._mx is not None:
             self._mx["ticks"].set(self.tick)
-        return self._result()
+        return True
 
     def next_timestamp(self) -> int:
         self._timestamp += 1
         return self._timestamp
 
     @property
+    def commit_order(self) -> list[str]:
+        """Commit order so far (live view — do not mutate).  A pump polls
+        ``len(commit_order)`` between slices to learn which transactions
+        newly committed without assembling a full result."""
+        return self._commit_order
+
+    def result_of(self, name: str) -> Any:
+        """The committed result of ``name`` (EngineError if uncommitted)."""
+        if name not in self._results:
+            raise EngineError(f"transaction {name!r} has not committed")
+        return self._results[name]
+
+    @property
     def log(self) -> list[_LogEntry]:
-        return self._log
+        """The live access log in global performance order (committed
+        and in-flight attempts merged — materialised on demand)."""
+        return sorted(
+            self._committed_log + self._live_log, key=lambda e: e.seq
+        )
 
     def is_committed(self, key: tuple[str, int]) -> bool:
         return key in self._committed_keys
 
     def active_states(self) -> list[TxnState]:
-        return [t for t in self.txns.values() if not t.committed]
+        return list(self._active.values())
 
     # ------------------------------------------------------------------
     # the per-tick step
@@ -432,7 +574,7 @@ class Engine:
             txn.deps.add(writer)
         record = txn.live.perform(self.store)
         self._seq += 1
-        self._log.append(_LogEntry(self._seq, txn.key, record))
+        self._live_log.append(_LogEntry(self._seq, txn.key, record))
         if record.kind is not StepKind.READ:
             self._last_writer[access.entity] = txn.key
         self.metrics.steps_performed += 1
@@ -498,7 +640,22 @@ class Engine:
         if decision.action is Action.PERFORM:
             txn.committed = True
             txn.commit_tick = self.tick
+            self._active.pop(txn.name, None)
             self._committed_keys.add(txn.key)
+            # Retire the attempt's records out of the abort-scannable
+            # window (entries are in seq order, so the last touch per
+            # entity wins the watermark).
+            mine = [e for e in self._live_log if e.key == txn.key]
+            if mine:
+                self._live_log = [
+                    e for e in self._live_log if e.key != txn.key
+                ]
+                self._committed_log.extend(mine)
+                for entry in mine:
+                    self._committed_access[entry.record.entity] = (
+                        entry.seq,
+                        entry.key,
+                    )
             self._commit_order.append(txn.name)
             self._results[txn.name] = txn.live.result
             self._cut_levels[txn.name] = dict(txn.live.cut_levels)
@@ -551,8 +708,13 @@ class Engine:
         import networkx as nx
 
         graph: nx.DiGraph = nx.DiGraph()
+        # Sorted: ``deps`` is a set of string tuples, and set iteration
+        # order varies with hash randomisation.  Edge insertion order
+        # decides *which* cycle networkx reports (hence the victim), so
+        # unsorted iteration made victim choice differ across processes
+        # — fatal for the service/library bit-identical differential.
         for state in self.active_states():
-            for dep_name, dep_attempt in state.deps:
+            for dep_name, dep_attempt in sorted(state.deps):
                 other = self.txns.get(dep_name)
                 if (
                     other is not None
@@ -573,11 +735,18 @@ class Engine:
     def _cascade(self, seeds: set[tuple[str, int]]) -> set[tuple[str, int]]:
         """Close the victim set: any attempt that accessed an entity
         *after* a write by a cascading attempt joins the cascade (it read
-        a dirty value or overwrote one)."""
+        a dirty value or overwrote one).
+
+        Only uncommitted entries participate: a committed entry never
+        taints (it could only join the cascade itself, which is the
+        recoverability violation ``_rollback`` detects separately via
+        the committed-access watermark), so restricting the closure to
+        ``_live_log`` computes the identical set at O(window) cost.
+        """
         from repro.engine.rollback import cascade_closure
 
         return cascade_closure(
-            [(entry.key, entry.record) for entry in self._log],
+            [(entry.key, entry.record) for entry in self._live_log],
             seeds,
             tracer=self.tracer,
             at=self.tick,
@@ -612,12 +781,18 @@ class Engine:
                 )
             seeds.add(txn.key)
         cascade = self._cascade(seeds)
-        for key in cascade:
-            if key in self._committed_keys:
-                raise EngineError(
-                    f"recoverability violated: committed attempt {key} is in "
-                    f"the cascade of {sorted(seeds)} ({reason})"
-                )
+        # Recoverability: a committed access sequenced after a doomed
+        # write would have joined the full-log closure; the watermark
+        # detects exactly that case without scanning committed history.
+        for entry in self._live_log:
+            if entry.key in cascade and entry.record.kind is not StepKind.READ:
+                stamp = self._committed_access.get(entry.record.entity)
+                if stamp is not None and stamp[0] > entry.seq:
+                    raise EngineError(
+                        f"recoverability violated: committed attempt "
+                        f"{stamp[1]} is in the cascade of {sorted(seeds)} "
+                        f"({reason})"
+                    )
         self.metrics.record_cascade(len(cascade))
         tr = self.tracer
         if tr.enabled:
@@ -631,8 +806,9 @@ class Engine:
                 reason=reason,
                 chain=len(cascade),
             )
-        # Undo every cascading write, newest first.
-        for entry in reversed(self._log):
+        # Undo every cascading write, newest first (cascade members are
+        # all uncommitted, so the live log holds every affected record).
+        for entry in reversed(self._live_log):
             if entry.key in cascade and entry.record.kind is not StepKind.READ:
                 self.store.restore(entry.record.entity, entry.record.value_before)
                 self.metrics.steps_undone += 1
@@ -648,14 +824,13 @@ class Engine:
                         entity=entry.record.entity,
                         restored=entry.record.value_before,
                     )
-        self._log = [e for e in self._log if e.key not in cascade]
+        self._live_log = [
+            e for e in self._live_log if e.key not in cascade
+        ]
         # Recompute last uncommitted writers from the surviving log.
         self._last_writer = {}
-        for entry in self._log:
-            if (
-                entry.record.kind is not StepKind.READ
-                and entry.key not in self._committed_keys
-            ):
+        for entry in self._live_log:
+            if entry.record.kind is not StepKind.READ:
                 self._last_writer[entry.record.entity] = entry.key
         # Restart the cascading attempts (sorted: deterministic across
         # processes regardless of hash randomisation).
@@ -730,11 +905,19 @@ class Engine:
                 invalid[key] = 0
 
         seed_keys = set(invalid)
+        # Segment cascades work at record granularity and must see
+        # committed entries interleaved (to catch recoverability
+        # violations mid-sequence), so this path materialises the full
+        # log.  It stays O(history) per abort — acceptable for the
+        # closed-system workloads that use segment recovery; the
+        # open-system service runs transaction recovery, which scans
+        # only the live window.
+        full_log = self.log
         changed = True
         while changed:
             changed = False
             per_entity: dict[str, list[_LogEntry]] = {}
-            for entry in self._log:
+            for entry in full_log:
                 per_entity.setdefault(entry.record.entity, []).append(entry)
             for entity, entries in per_entity.items():
                 tainted = False
@@ -784,8 +967,9 @@ class Engine:
                 chain=len(invalid),
                 unit="segment",
             )
-        # Undo invalidated writes, newest first.
-        for entry in reversed(self._log):
+        # Undo invalidated writes, newest first (invalid keys are all
+        # uncommitted, so the live log holds every affected record).
+        for entry in reversed(self._live_log):
             if (
                 entry.key in invalid
                 and entry.record.step.index >= invalid[entry.key]
@@ -807,9 +991,9 @@ class Engine:
                         entity=entry.record.entity,
                         restored=entry.record.value_before,
                     )
-        self._log = [
+        self._live_log = [
             e
-            for e in self._log
+            for e in self._live_log
             if not (
                 e.key in invalid
                 and e.record.step.index >= invalid[e.key]
@@ -867,7 +1051,7 @@ class Engine:
             if not txn.committed:
                 txn.deps = set()
         last_writer: dict[str, tuple[str, int]] = {}
-        for entry in self._log:
+        for entry in self.log:
             writer = last_writer.get(entry.record.entity)
             if (
                 writer is not None
@@ -886,12 +1070,10 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _result(self, partial: bool = False) -> EngineResult:
-        live_keys = {
-            txn.key for txn in self.txns.values() if not txn.committed
-        }
+        live_keys = {txn.key for txn in self._active.values()}
         records = [
             entry.record
-            for entry in self._log
+            for entry in self.log
             if entry.key in self._committed_keys
             or (partial and entry.key in live_keys)
         ]
@@ -899,8 +1081,8 @@ class Engine:
         execution.validate()  # undo/cascade bugs cannot pass silently
         cut_levels = dict(self._cut_levels)
         if partial:
-            for txn in self.txns.values():
-                if not txn.committed and txn.steps_taken:
+            for txn in self._active.values():
+                if txn.steps_taken:
                     cut_levels[txn.name] = dict(txn.live.cut_levels)
         return EngineResult(
             execution=execution,

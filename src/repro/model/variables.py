@@ -80,6 +80,26 @@ class EntityStore:
         state.history.append((step, before, after))
         return before, after, result
 
+    def declare(self, entity: str, value: Any) -> None:
+        """Register a new entity with its initial value (open-system
+        ingest).  Idempotent when the entity already exists with the same
+        *initial* value; redeclaring with a different one is an error —
+        an entity's starting point is part of the application database.
+
+        Declaring an entity nobody has accessed yet is equivalent to
+        having constructed the store with it up-front, which is what the
+        service/library differential relies on.
+        """
+        if entity in self._entities:
+            if self._initial[entity] != value:
+                raise EngineError(
+                    f"entity {entity!r} already declared with initial "
+                    f"value {self._initial[entity]!r}, not {value!r}"
+                )
+            return
+        self._initial[entity] = value
+        self._entities[entity] = _EntityState(value)
+
     def restore(self, entity: str, value: Any) -> None:
         """Force an entity back to ``value`` (rollback support); does not
         touch the history — undo is recorded by the engine's log."""

@@ -44,6 +44,7 @@ from repro.obs.events import (
 from repro.obs.explain import aborted_transactions, explain_abort, format_timeline
 from repro.obs.export import (
     json_snapshot,
+    live_registry_snapshot,
     prometheus_text,
     registry_from_snapshot,
     write_chrome_trace,
@@ -100,6 +101,7 @@ __all__ = [
     "explain_abort",
     "format_timeline",
     "json_snapshot",
+    "live_registry_snapshot",
     "load_jsonl",
     "prometheus_text",
     "registry_from_snapshot",

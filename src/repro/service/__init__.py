@@ -1,0 +1,29 @@
+"""Service mode: the long-running ingest server and its client.
+
+The batch library runs a fixed program set to completion; this package
+turns the same engine into an open system — submissions arrive over a
+socket, pass an admission gate, are batched into engine tick slices, and
+come back as typed :class:`repro.api.ResultEnvelope` results.  The
+committed history of a zero-fault service run is bit-identical to the
+library path replaying the same submissions at the recorded arrival
+ticks (differential-tested), so every correctness result from the paper
+carries over to served traffic unchanged.
+"""
+
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, TransactionService, serve
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ServiceClient",
+    "ServiceConfig",
+    "TransactionService",
+    "serve",
+]

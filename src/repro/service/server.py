@@ -1,0 +1,518 @@
+"""The ingest server: submissions over a socket, batched engine ticks.
+
+Architecture (DESIGN.md §4g)::
+
+    client ──newline-JSON──▶ connection handler ──▶ admission gate
+                                                      │ admitted
+                                                      ▼
+                                              asyncio ingest queue
+                                                      │ batches
+                                                      ▼
+    envelope ◀── commit watcher ◀── Engine.advance(until_tick=...) pump
+
+The service is *pure orchestration*: the engine it pumps is the exact
+library engine, fed through :meth:`Engine.add_program` (equivalent, by
+construction, to up-front ``arrivals=`` scheduling), and nothing in this
+module consumes the engine's seeded rng.  A zero-fault run's committed
+history is therefore bit-identical to the library path replaying the
+same submissions at the recorded arrival ticks — the differential test
+in tier 1 holds the service to that.
+
+The socket protocol is one JSON object per line.  Ops: ``submit``,
+``submit_batch``, ``health``, ``metrics``, ``admission``, ``drain``,
+``shutdown``.  Responses echo the request's ``seq`` (responses to
+pipelined requests may interleave).  For convenience the same port also
+speaks just enough HTTP for ``curl``: ``GET /metrics`` (Prometheus text
+exposition) and ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import (
+    ResultEnvelope,
+    Submission,
+    envelopes_from_engine,
+    make_scheduler,
+)
+from repro.core.nests import PathNest
+from repro.engine.runtime import Engine, EngineResult
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    PhaseProfiler,
+    RingTracer,
+    explain_abort,
+    json_snapshot,
+    live_registry_snapshot,
+    prometheus_text,
+)
+from repro.service.admission import AdmissionConfig, AdmissionController
+
+__all__ = ["ServiceConfig", "TransactionService", "serve"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shape of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is reported at start
+    scheduler: str = "2pl"
+    seed: int = 0
+    nest_depth: int = 1
+    #: Initial value given to entities on first reference.
+    initial_value: int = 100
+    #: Engine ticks per pump slice; between slices the event loop runs
+    #: (new submissions are ingested, responses written).
+    tick_batch: int = 256
+    recovery: str = "transaction"
+    #: Flight-recorder ring capacity feeding abort explanations; the
+    #: ring is bounded so a soak cannot grow it without limit.
+    trace_capacity: int = 4096
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+
+class TransactionService:
+    """The engine-owning core, independent of any transport.
+
+    All state is touched only from the event loop thread: connection
+    handlers enqueue admitted submissions and ``await`` their envelope
+    futures; a single pump task drains the queue into the engine and
+    advances it in tick batches, resolving futures as commits land.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.profiler = PhaseProfiler()
+        self.tracer = RingTracer(capacity=config.trace_capacity)
+        self.nest = PathNest(config.nest_depth)
+        self.engine = Engine(
+            [],
+            {},
+            make_scheduler(config.scheduler, self.nest),
+            seed=config.seed,
+            recovery=config.recovery,
+            max_ticks=1 << 62,
+            tracer=self.tracer,
+            registry=self.registry,
+            profiler=self.profiler,
+        )
+        self.admission = AdmissionController(
+            config.admission, config.nest_depth
+        )
+        self._queue: asyncio.Queue = asyncio.Queue()
+        #: name -> future resolving to a ResultEnvelope.
+        self._pending: dict[str, asyncio.Future] = {}
+        #: idempotency key -> future (kept after resolution, so a
+        #: resubmission is answered from the first run, never re-run).
+        self._by_key: dict[str, asyncio.Future] = {}
+        #: name -> arrival tick, recorded at ingest for the differential.
+        self.arrivals: dict[str, int] = {}
+        self._resolved = 0  # commits already folded into envelopes
+        self._pump_task: asyncio.Task | None = None
+        self._mx = self._bind_metrics()
+
+    def _bind_metrics(self) -> dict[str, Any]:
+        def counter(name: str, help: str, **labels):
+            family = self.registry.counter(
+                name, help=help, labels=tuple(sorted(labels))
+            )
+            return family.labels(**labels)
+
+        return {
+            "admitted": counter(
+                "repro_service_submissions_total",
+                "Submissions by admission outcome.", outcome="admitted"),
+            "rejected_schema": counter(
+                "repro_service_submissions_total",
+                "Submissions by admission outcome.", outcome="rejected_schema"),
+            "rejected_load": counter(
+                "repro_service_submissions_total",
+                "Submissions by admission outcome.", outcome="rejected_load"),
+            "duplicate": counter(
+                "repro_service_submissions_total",
+                "Submissions by admission outcome.", outcome="duplicate"),
+            "in_flight": self.registry.gauge(
+                "repro_service_in_flight",
+                help="Admitted submissions not yet resolved.",
+            ).labels(),
+            "batches": self.registry.counter(
+                "repro_service_pump_batches_total",
+                help="Engine pump slices executed.",
+            ).labels(),
+        }
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+
+    async def submit(self, submission: Submission) -> dict:
+        """Admit one submission and wait for its envelope.
+
+        Returns the wire response dict: ``{"ok": true, "envelope": ...}``
+        on success, or a rejection with ``retry_after`` when the
+        in-flight window is full.
+        """
+        key = submission.idempotency_key
+        existing = self._by_key.get(key)
+        if existing is not None:
+            self._mx["duplicate"].inc()
+            envelope = await asyncio.shield(existing)
+            return {"ok": True, "duplicate": True,
+                    "envelope": envelope.to_dict()}
+        decision = self.admission.check(
+            submission,
+            known_names=self.engine.txns,
+            in_flight=len(self._pending),
+        )
+        if not decision.admitted:
+            self._mx[f"rejected_{decision.kind}"].inc()
+            rejected = ResultEnvelope(
+                name=submission.program.name,
+                status="rejected",
+                abort_causes=(decision.reason,),
+            )
+            response = {
+                "ok": False,
+                "error": decision.reason,
+                "rejection": decision.kind,
+                "envelope": rejected.to_dict(),
+            }
+            if decision.retry_after is not None:
+                response["retry_after"] = decision.retry_after
+            return response
+        self._mx["admitted"].inc()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[submission.program.name] = future
+        self._by_key[key] = future
+        self._mx["in_flight"].set(len(self._pending))
+        self._queue.put_nowait(submission)
+        self._ensure_pump()
+        envelope = await asyncio.shield(future)
+        return {"ok": True, "envelope": envelope.to_dict()}
+
+    def _ensure_pump(self) -> None:
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump()
+            )
+
+    def _ingest(self, submission: Submission) -> None:
+        """Move one admitted submission into the engine.  Declaring the
+        entities and adding the program at ``tick + 1`` is exactly the
+        up-front construction the library path replays."""
+        spec = submission.program
+        for entity in sorted(spec.entities):
+            self.engine.store.declare(entity, self.config.initial_value)
+        self.nest.add(spec.name, spec.path)
+        state = self.engine.add_program(spec.compile())
+        self.arrivals[spec.name] = state.arrival_tick
+
+    async def _pump(self) -> None:
+        """Drain the queue into the engine and tick it until idle."""
+        while True:
+            try:
+                submission = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                if not self._pending:
+                    return  # idle; the next submit restarts the pump
+                submission = None
+            if submission is not None:
+                self._ingest(submission)
+                continue  # batch everything already queued before ticking
+            self.engine.advance(
+                until_tick=self.engine.tick + self.config.tick_batch
+            )
+            self._mx["batches"].inc()
+            self._resolve_commits()
+            # Yield so connection handlers can enqueue and respond.
+            await asyncio.sleep(0)
+
+    def _resolve_commits(self) -> None:
+        order = self.engine.commit_order
+        while self._resolved < len(order):
+            position = self._resolved
+            name = order[position]
+            self._resolved += 1
+            future = self._pending.pop(name, None)
+            if future is None or future.done():
+                continue
+            future.set_result(self._envelope_for(name, position))
+        self._mx["in_flight"].set(len(self._pending))
+
+    def _envelope_for(self, name: str, position: int) -> ResultEnvelope:
+        state = self.engine.txns[name]
+        causes: tuple[str, ...] = ()
+        if state.attempt > 0:
+            causes = tuple(explain_abort(self.tracer.events(), name))
+        return ResultEnvelope(
+            name=name,
+            status="restarted" if state.attempt > 0 else "committed",
+            serial_position=position,
+            arrival_tick=state.arrival_tick,
+            commit_tick=state.commit_tick,
+            latency_ticks=(state.commit_tick or 0) - state.arrival_tick,
+            attempts=state.attempt + 1,
+            waits=state.waits,
+            result=self.engine.result_of(name),
+            abort_causes=causes,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection ops
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "serving",
+            "scheduler": self.config.scheduler,
+            "tick": self.engine.tick,
+            "in_flight": len(self._pending),
+            "queued": self._queue.qsize(),
+            "submitted": self.admission.admitted,
+            "committed": len(self.engine.commit_order),
+            "admission": self.admission.counters(),
+        }
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        return live_registry_snapshot(self.registry, self.profiler)
+
+    def metrics_text(self) -> str:
+        return prometheus_text(self.metrics_snapshot())
+
+    def admission_report(self, samples: int = 20, seed: int = 0) -> list[dict]:
+        return self.admission.report_rows(
+            self.config.initial_value, samples=samples, seed=seed
+        )
+
+    async def drain(self) -> dict:
+        """Wait until every admitted submission has resolved."""
+        while self._pending or self._queue.qsize():
+            self._ensure_pump()
+            await asyncio.sleep(0)
+        return self.health()
+
+    def result(self) -> EngineResult:
+        """The engine's result so far (committed history + metrics)."""
+        return self.engine.run(until_tick=self.engine.tick)
+
+    def envelopes(self) -> dict[str, ResultEnvelope]:
+        """Envelopes for everything ever admitted (post-drain audit)."""
+        return envelopes_from_engine(self.engine, self.result())
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+_HTTP_VERBS = (b"GET ", b"HEAD", b"POST")
+_MAX_LINE = 4 * 1024 * 1024
+
+
+class _Server:
+    """Socket front end: newline-JSON with just-enough-HTTP sniffing."""
+
+    def __init__(self, service: TransactionService) -> None:
+        self.service = service
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle, config.host, config.port, limit=_MAX_LINE
+        )
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._server is not None
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        # Let in-flight handlers finish their responses before the loop
+        # is torn down (cancelling them mid-close is noisy).
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=1.0)
+        await self.service.drain()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first[:4] in _HTTP_VERBS:
+                await self._handle_http(first, reader, writer)
+                return
+            await self._handle_jsonl(first, reader, writer)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # close() without awaiting the handshake: a peer that never
+            # reads again would otherwise pin this task until teardown.
+            writer.close()
+
+    # -- newline-JSON ---------------------------------------------------
+
+    async def _handle_jsonl(self, first, reader, writer) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        line = first
+        while line:
+            stripped = line.strip()
+            if stripped:
+                task = asyncio.ensure_future(
+                    self._answer(stripped, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _answer(self, raw: bytes, writer, lock) -> None:
+        try:
+            request = json.loads(raw)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            response: dict = {"ok": False, "error": f"bad request: {exc}"}
+            await self._write(writer, lock, response)
+            return
+        response = await self._dispatch(request)
+        if request.get("seq") is not None:
+            response["seq"] = request["seq"]
+        await self._write(writer, lock, response)
+
+    async def _write(self, writer, lock, response: dict) -> None:
+        payload = json.dumps(response, sort_keys=True).encode() + b"\n"
+        async with lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        service = self.service
+        try:
+            if op == "submit":
+                submission = Submission.from_dict(
+                    request.get("submission", {})
+                )
+                return await service.submit(submission)
+            if op == "submit_batch":
+                raw = request.get("submissions", [])
+                if not isinstance(raw, list):
+                    return {"ok": False,
+                            "error": "submissions must be a list"}
+                submissions = [Submission.from_dict(s) for s in raw]
+                responses = await asyncio.gather(
+                    *(service.submit(s) for s in submissions)
+                )
+                return {"ok": True, "responses": list(responses)}
+            if op == "health":
+                return {"ok": True, **service.health()}
+            if op == "metrics":
+                if request.get("format") == "json":
+                    return {
+                        "ok": True,
+                        "snapshot": json_snapshot(
+                            service.metrics_snapshot()
+                        ),
+                    }
+                return {"ok": True, "text": service.metrics_text()}
+            if op == "admission":
+                return {
+                    "ok": True,
+                    "rows": service.admission_report(
+                        samples=int(request.get("samples", 20)),
+                        seed=int(request.get("seed", 0)),
+                    ),
+                }
+            if op == "drain":
+                return {"ok": True, **(await service.drain())}
+            if op == "shutdown":
+                await service.drain()
+                self._shutdown.set()
+                return {"ok": True, **service.health(),
+                        "status": "shutting down"}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+
+    # -- just-enough HTTP ----------------------------------------------
+
+    async def _handle_http(self, first: bytes, reader, writer) -> None:
+        parts = first.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        while True:  # drain headers
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        if path.startswith("/metrics"):
+            status, ctype, body = (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                self.service.metrics_text(),
+            )
+        elif path.startswith("/healthz"):
+            status, ctype, body = (
+                "200 OK",
+                "application/json",
+                json.dumps(self.service.health(), sort_keys=True) + "\n",
+            )
+        else:
+            status, ctype, body = "404 Not Found", "text/plain", "not found\n"
+        blob = body.encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(blob)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            + blob
+        )
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve(
+    config: ServiceConfig,
+    *,
+    ready: "asyncio.Future | None" = None,
+) -> TransactionService:
+    """Run a service until a client sends ``{"op": "shutdown"}``.
+
+    ``ready``, when given, receives the bound port once the socket is
+    listening (the CLI prints it; tests race-free-wait on it).  Returns
+    the drained service so callers can audit its engine.
+    """
+    service = TransactionService(config)
+    server = _Server(service)
+    await server.start()
+    if ready is not None and not ready.done():
+        ready.set_result(server.port)
+    await server.serve_until_shutdown()
+    return service

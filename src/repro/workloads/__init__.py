@@ -5,6 +5,8 @@
 * :mod:`~repro.workloads.paper` — every worked example from the text.
 * :mod:`~repro.workloads.generators` — random hierarchical workloads.
 * :mod:`~repro.workloads.traces` — admission-rate sampling (E2/E6).
+* :mod:`~repro.workloads.traffic` — synthetic client traffic for the
+  ingest server (E15).
 """
 
 from repro.workloads.banking import (
@@ -37,6 +39,13 @@ from repro.workloads.traces import (
     admission_by_depth,
     classify_sample,
 )
+from repro.workloads.traffic import (
+    TrafficConfig,
+    drive,
+    drive_sync,
+    traffic_specs,
+    traffic_submissions,
+)
 
 __all__ = [
     "BankingConfig",
@@ -59,4 +68,9 @@ __all__ = [
     "AdmissionStats",
     "classify_sample",
     "admission_by_depth",
+    "TrafficConfig",
+    "traffic_specs",
+    "traffic_submissions",
+    "drive",
+    "drive_sync",
 ]

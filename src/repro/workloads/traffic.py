@@ -1,0 +1,178 @@
+"""Synthetic client traffic for the ingest server.
+
+Generates deterministic streams of declarative :class:`ProgramSpec`
+transactions (seeded, so a stream can be replayed through the library
+path for the differential), and drives a running server with them over
+many concurrent connections — the load half of the E15 soak benchmark.
+
+Transactions are placed in a one-level hierarchy of ``families`` (the
+banking shape: level 2 separates families, level 3 is singletons); each
+access touches the transaction's family pool or, with probability
+``contention``, a small shared pool that makes cross-family conflicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass
+
+from repro.api import ProgramSpec, Submission
+from repro.errors import SpecificationError
+
+__all__ = [
+    "TrafficConfig",
+    "traffic_specs",
+    "traffic_submissions",
+    "drive",
+    "drive_sync",
+]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of a generated submission stream."""
+
+    transactions: int = 100
+    families: int = 8
+    entities_per_family: int = 6
+    shared_entities: int = 4
+    ops_range: tuple[int, int] = (2, 5)
+    read_fraction: float = 0.5
+    breakpoint_fraction: float = 0.3
+    contention: float = 0.1
+    client_id: str = "traffic"
+    name_prefix: str = "s"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.transactions < 1:
+            raise SpecificationError("need at least one transaction")
+        if self.families < 1 or self.entities_per_family < 1:
+            raise SpecificationError("need at least one family and entity")
+        if not 0.0 <= self.contention <= 1.0:
+            raise SpecificationError("contention must be in [0, 1]")
+
+
+def traffic_specs(config: TrafficConfig) -> list[ProgramSpec]:
+    """The deterministic submission stream for ``config``."""
+    rng = random.Random(config.seed)
+    specs = []
+    for index in range(config.transactions):
+        family = rng.randrange(config.families)
+        ops: list[tuple] = []
+        n_accesses = rng.randint(*config.ops_range)
+        for position in range(n_accesses):
+            if position > 0 and rng.random() < config.breakpoint_fraction:
+                ops.append(("bp", 2))
+            if config.shared_entities and rng.random() < config.contention:
+                entity = f"shared.e{rng.randrange(config.shared_entities)}"
+            else:
+                entity = (
+                    f"fam{family}.e"
+                    f"{rng.randrange(config.entities_per_family)}"
+                )
+            if rng.random() < config.read_fraction:
+                ops.append(("read", entity))
+            else:
+                ops.append(("add", entity, rng.randint(-5, 9)))
+        specs.append(
+            ProgramSpec(
+                name=f"{config.name_prefix}{index}",
+                ops=tuple(ops),
+                path=(f"fam{family}",),
+            )
+        )
+    return specs
+
+
+def traffic_submissions(config: TrafficConfig) -> list[Submission]:
+    return [
+        Submission(program=spec, client_id=config.client_id)
+        for spec in traffic_specs(config)
+    ]
+
+
+async def drive(
+    host: str,
+    port: int,
+    submissions: list[Submission],
+    connections: int = 4,
+    batch: int = 32,
+    max_attempts: int = 200,
+) -> dict:
+    """Push every submission through a running server; return stats.
+
+    ``connections`` workers each hold one socket and send
+    ``submit_batch`` requests of up to ``batch`` submissions.  A
+    load-rejected submission is retried after the server's
+    ``retry_after`` hint — this is the client half of the backpressure
+    protocol, so a driver pointed at a small admission window simply
+    degrades to smaller effective batches instead of failing.
+
+    Returns ``{"envelopes": [...], "retries": n, "gave_up": [names]}``
+    with envelopes in completion order.
+    """
+    queue: asyncio.Queue = asyncio.Queue()
+    for submission in submissions:
+        queue.put_nowait((submission, 0))
+    envelopes: list[dict] = []
+    stats = {"retries": 0, "gave_up": []}
+
+    async def worker() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                chunk: list[tuple[Submission, int]] = []
+                try:
+                    chunk.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    return
+                while len(chunk) < batch:
+                    try:
+                        chunk.append(queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                payload = {
+                    "op": "submit_batch",
+                    "submissions": [s.to_dict() for s, _ in chunk],
+                }
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(line)
+                for (submission, attempts), result in zip(
+                    chunk, response.get("responses", [])
+                ):
+                    if result.get("ok"):
+                        envelopes.append(result["envelope"])
+                    elif result.get("rejection") == "load":
+                        if attempts + 1 >= max_attempts:
+                            stats["gave_up"].append(
+                                submission.program.name
+                            )
+                            continue
+                        stats["retries"] += 1
+                        await asyncio.sleep(
+                            float(result.get("retry_after", 0.01))
+                        )
+                        queue.put_nowait((submission, attempts + 1))
+                    else:
+                        envelopes.append(result["envelope"])
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    await asyncio.gather(*(worker() for _ in range(connections)))
+    return {"envelopes": envelopes, **stats}
+
+
+def drive_sync(host: str, port: int, submissions, **kwargs) -> dict:
+    """Blocking wrapper around :func:`drive` for benchmarks and tests."""
+    return asyncio.run(drive(host, port, submissions, **kwargs))

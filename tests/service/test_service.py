@@ -1,0 +1,431 @@
+"""Service-mode behavior: admission, backpressure, idempotency, the
+socket/HTTP protocol, and the acceptance-gating differential — a
+zero-knowledge client submitting over the service API must produce a
+committed history bit-identical to the library path replaying the same
+arrivals."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import ProgramSpec, Submission, make_scheduler
+from repro.core.nests import PathNest
+from repro.engine.runtime import Engine
+from repro.service import AdmissionConfig, ServiceConfig, TransactionService
+from repro.service.server import serve
+from repro.workloads.traffic import (
+    TrafficConfig,
+    drive,
+    traffic_specs,
+    traffic_submissions,
+)
+
+
+def spec(name: str, *ops, path: tuple = ()) -> ProgramSpec:
+    return ProgramSpec(name=name, ops=tuple(ops), path=path)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# in-process service core
+# ----------------------------------------------------------------------
+
+
+class TestServiceCore:
+    def test_single_submit_commits(self):
+        async def go():
+            service = TransactionService(ServiceConfig(nest_depth=0))
+            response = await service.submit(
+                Submission(program=spec("t1", ("add", "x", 5), ("read", "x")))
+            )
+            assert response["ok"]
+            env = response["envelope"]
+            assert env["status"] == "committed"
+            assert env["serial_position"] == 0
+            assert env["result"] == 105  # initial 100 + 5
+            assert env["attempts"] == 1
+            await service.drain()
+            return service
+
+        service = run(go())
+        assert service.engine.commit_order == ["t1"]
+
+    def test_idempotent_resubmission_runs_once(self):
+        async def go():
+            service = TransactionService(ServiceConfig(nest_depth=0))
+            sub = Submission(
+                program=spec("t1", ("add", "x", 1), ("read", "x")),
+                idempotency_key="k-1",
+            )
+            first = await service.submit(sub)
+            second = await service.submit(sub)
+            assert first["ok"] and second["ok"]
+            assert second.get("duplicate") is True
+            assert first["envelope"] == second["envelope"]
+            return service
+
+        service = run(go())
+        # One engine-side transaction, not two.
+        assert len(service.engine.txns) == 1
+
+    def test_schema_rejections(self):
+        async def go():
+            service = TransactionService(
+                ServiceConfig(
+                    nest_depth=1,
+                    admission=AdmissionConfig(max_ops=4),
+                )
+            )
+            ok = await service.submit(
+                Submission(program=spec(
+                    "good", ("read", "x"), path=("fam",)))
+            )
+            assert ok["ok"]
+
+            wrong_depth = await service.submit(
+                Submission(program=spec("deep", ("read", "x"), path=()))
+            )
+            assert not wrong_depth["ok"]
+            assert wrong_depth["rejection"] == "schema"
+            assert "retry_after" not in wrong_depth
+            assert wrong_depth["envelope"]["status"] == "rejected"
+
+            dup_name = await service.submit(
+                Submission(
+                    program=spec("good", ("read", "y"), path=("fam",)),
+                    idempotency_key="different-key",
+                )
+            )
+            assert not dup_name["ok"]
+            assert dup_name["rejection"] == "schema"
+
+            too_big = await service.submit(
+                Submission(program=spec(
+                    "big",
+                    *[("add", f"e{i}", 1) for i in range(9)],
+                    path=("fam",),
+                ))
+            )
+            assert not too_big["ok"]
+            assert too_big["rejection"] == "schema"
+            await service.drain()
+            counters = service.admission.counters()
+            assert counters["rejected_schema"] == 3
+            assert counters["admitted"] == 1
+
+        run(go())
+
+    def test_backpressure_under_overload(self):
+        """With a tiny window, a flood gets load-rejections carrying
+        retry_after; retrying eventually lands every submission."""
+
+        async def go():
+            service = TransactionService(
+                ServiceConfig(
+                    nest_depth=0,
+                    admission=AdmissionConfig(window=2, retry_after=0.0),
+                )
+            )
+            subs = [
+                Submission(program=spec(f"t{i}", ("add", "x", 1)))
+                for i in range(10)
+            ]
+            first_wave = await asyncio.gather(
+                *(service.submit(s) for s in subs)
+            )
+            rejected = [r for r in first_wave if not r["ok"]]
+            assert rejected, "overload must reject beyond the window"
+            for r in rejected:
+                assert r["rejection"] == "load"
+                assert "retry_after" in r
+                assert r["envelope"]["status"] == "rejected"
+
+            # Client half of the protocol: retry until admitted.
+            remaining = [
+                s for s, r in zip(subs, first_wave) if not r["ok"]
+            ]
+            for _ in range(200):
+                if not remaining:
+                    break
+                retries = await asyncio.gather(
+                    *(service.submit(s) for s in remaining)
+                )
+                remaining = [
+                    s for s, r in zip(remaining, retries) if not r["ok"]
+                ]
+                await asyncio.sleep(0)
+            assert not remaining
+            await service.drain()
+            return service
+
+        service = run(go())
+        assert len(service.engine.commit_order) == 10
+        assert service.admission.counters()["rejected_load"] > 0
+
+    def test_drain_then_result_is_quiesced(self):
+        async def go():
+            service = TransactionService(ServiceConfig(nest_depth=0))
+            await asyncio.gather(*(
+                service.submit(
+                    Submission(program=spec(f"t{i}", ("add", "x", 1)))
+                )
+                for i in range(5)
+            ))
+            health = await service.drain()
+            assert health["in_flight"] == 0
+            assert health["committed"] == 5
+            return service
+
+        service = run(go())
+        result = service.result()
+        assert not result.partial
+        assert sorted(result.commit_order) == [f"t{i}" for i in range(5)]
+
+    def test_metrics_text_exposes_service_counters(self):
+        async def go():
+            service = TransactionService(ServiceConfig(nest_depth=0))
+            await service.submit(
+                Submission(program=spec("t1", ("read", "x")))
+            )
+            await service.drain()
+            return service
+
+        service = run(go())
+        text = service.metrics_text()
+        assert "repro_service_submissions_total" in text
+        assert "repro_commits_total" in text
+        # Scraping twice must not double-count (publish is additive on a
+        # fresh snapshot each time).
+        assert service.metrics_text() == text
+
+
+# ----------------------------------------------------------------------
+# the differential: service path == library path, bit for bit
+# ----------------------------------------------------------------------
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("traffic_seed", [3, 11])
+    def test_service_history_bit_identical_to_library(self, traffic_seed):
+        """Submit generated traffic through the async service, then
+        replay the recorded arrivals through a plain library Engine:
+        history digest, commit order, results, and metrics that describe
+        the history must all match exactly."""
+        config = ServiceConfig(
+            scheduler="2pl",
+            seed=7,
+            nest_depth=1,
+            admission=AdmissionConfig(window=8),
+        )
+        traffic = TrafficConfig(
+            transactions=40,
+            seed=traffic_seed,
+            contention=0.3,  # force restarts so abort paths are compared
+            families=3,
+            entities_per_family=3,
+            shared_entities=2,
+        )
+
+        async def submit_with_retry(service, sub):
+            while True:
+                response = await service.submit(sub)
+                if response["ok"]:
+                    return response
+                assert response["rejection"] == "load"
+                await asyncio.sleep(0)
+
+        async def go():
+            service = TransactionService(config)
+            # Concurrent submission, so the window fills and transactions
+            # genuinely interleave (and restart) inside the service.
+            await asyncio.gather(*(
+                submit_with_retry(service, sub)
+                for sub in traffic_submissions(traffic)
+            ))
+            await service.drain()
+            return service
+
+        service = run(go())
+        service_result = service.result()
+        assert len(service.engine.commit_order) == traffic.transactions
+
+        # Library replay: same programs in ingest order, same arrivals,
+        # same scheduler/seed — up-front construction instead of a
+        # socket server.
+        specs = {s.name: s for s in traffic_specs(traffic)}
+        ingest_order = list(service.arrivals)
+        nest = PathNest(config.nest_depth)
+        initial = {}
+        for name in ingest_order:
+            nest.add(name, specs[name].path)
+            for entity in sorted(specs[name].entities):
+                initial.setdefault(entity, config.initial_value)
+        engine = Engine(
+            [specs[name].compile() for name in ingest_order],
+            initial,
+            make_scheduler(config.scheduler, nest),
+            seed=config.seed,
+            arrivals=dict(service.arrivals),
+            max_ticks=1 << 62,
+        )
+        library_result = engine.run()
+
+        assert (
+            service_result.history_digest()
+            == library_result.history_digest()
+        )
+        assert service_result.commit_order == library_result.commit_order
+        assert service_result.results == library_result.results
+        assert service_result.cut_levels == library_result.cut_levels
+        assert service.engine.tick == engine.tick
+        assert (
+            service_result.metrics.aborts == library_result.metrics.aborts
+        )
+
+
+# ----------------------------------------------------------------------
+# socket server: newline-JSON + HTTP sniffing
+# ----------------------------------------------------------------------
+
+
+async def _start_server(config: ServiceConfig):
+    ready: asyncio.Future = asyncio.get_running_loop().create_future()
+    task = asyncio.create_task(serve(config, ready=ready))
+    port = await ready
+    return task, port
+
+
+async def _jsonl_request(port: int, payloads: list[dict]) -> list[dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    for payload in payloads:
+        writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    responses = []
+    for _ in payloads:
+        line = await reader.readline()
+        responses.append(json.loads(line))
+    writer.close()
+    return responses
+
+
+class TestSocketServer:
+    def test_jsonl_submit_health_shutdown(self):
+        async def go():
+            task, port = await _start_server(ServiceConfig(nest_depth=0))
+            sub = Submission(program=spec("t1", ("add", "x", 2), ("read", "x")))
+            (response,) = await _jsonl_request(
+                port, [{"op": "submit", "submission": sub.to_dict()}]
+            )
+            assert response["ok"]
+            assert response["envelope"]["result"] == 102
+
+            (health,) = await _jsonl_request(port, [{"op": "health"}])
+            assert health["ok"] and health["committed"] == 1
+
+            (summary,) = await _jsonl_request(port, [{"op": "shutdown"}])
+            assert summary["status"] == "shutting down"
+            service = await asyncio.wait_for(task, timeout=5)
+            return service
+
+        service = run(go())
+        assert service.engine.commit_order == ["t1"]
+
+    def test_seq_echo_and_pipelining(self):
+        async def go():
+            task, port = await _start_server(ServiceConfig(nest_depth=0))
+            subs = [
+                {"op": "submit", "seq": i,
+                 "submission": Submission(
+                     program=spec(f"p{i}", ("add", "x", 1))).to_dict()}
+                for i in range(4)
+            ]
+            responses = await _jsonl_request(port, subs)
+            assert sorted(r["seq"] for r in responses) == [0, 1, 2, 3]
+            assert all(r["ok"] for r in responses)
+            await _jsonl_request(port, [{"op": "shutdown"}])
+            await asyncio.wait_for(task, timeout=5)
+
+        run(go())
+
+    def test_bad_payloads_answered_not_crashed(self):
+        async def go():
+            task, port = await _start_server(ServiceConfig(nest_depth=0))
+            responses = await _jsonl_request(port, [
+                {"op": "submit", "submission": {"nope": 1}},
+                {"op": "no-such-op"},
+            ])
+            assert all(not r["ok"] for r in responses)
+            assert all("error" in r for r in responses)
+            # The connection (and server) survived both.
+            (health,) = await _jsonl_request(port, [{"op": "health"}])
+            assert health["ok"]
+            await _jsonl_request(port, [{"op": "shutdown"}])
+            await asyncio.wait_for(task, timeout=5)
+
+        run(go())
+
+    def test_http_metrics_and_healthz(self):
+        async def http(port, target):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            return head.decode(), body.decode()
+
+        async def go():
+            task, port = await _start_server(ServiceConfig(nest_depth=0))
+            sub = Submission(program=spec("t1", ("read", "x")))
+            await _jsonl_request(
+                port, [{"op": "submit", "submission": sub.to_dict()}]
+            )
+            head, body = await http(port, "/metrics")
+            assert "200" in head.splitlines()[0]
+            assert "repro_commits_total" in body
+            head, body = await http(port, "/healthz")
+            assert "200" in head.splitlines()[0]
+            assert json.loads(body)["committed"] == 1
+            head, _ = await http(port, "/nope")
+            assert "404" in head.splitlines()[0]
+            await _jsonl_request(port, [{"op": "shutdown"}])
+            await asyncio.wait_for(task, timeout=5)
+
+        run(go())
+
+    def test_traffic_drive_with_backpressure(self):
+        """The bundled traffic driver against a tiny admission window:
+        retries happen, nothing is lost, everything commits."""
+
+        async def go():
+            task, port = await _start_server(
+                ServiceConfig(
+                    nest_depth=1,
+                    admission=AdmissionConfig(window=4, retry_after=0.0),
+                )
+            )
+            submissions = traffic_submissions(
+                TrafficConfig(transactions=30, seed=9, contention=0.05)
+            )
+            stats = await drive(
+                "127.0.0.1", port, submissions, connections=3, batch=8
+            )
+            await _jsonl_request(port, [{"op": "shutdown"}])
+            service = await asyncio.wait_for(task, timeout=10)
+            return service, stats
+
+        service, stats = run(go())
+        assert stats["gave_up"] == []
+        assert stats["retries"] > 0
+        assert len(stats["envelopes"]) == 30
+        assert len(service.engine.commit_order) == 30
+        statuses = {e["status"] for e in stats["envelopes"]}
+        assert statuses <= {"committed", "restarted"}
