@@ -14,8 +14,10 @@ the coherent closure of the performed prefix.  Three configurations:
 All three are exact (a companion test asserts identical verdicts).
 Expected shape: the persistent engine beats per-step recomputation at
 every stream length (asserted below), and **pruning is the lever that
-keeps per-step cost flat** as the stream grows; without it the window
-grows without bound.
+keeps the window bounded** as the stream grows; without it the window
+grows without bound.  (Raw time for the unpruned config is no longer a
+fair proxy: the cyclic-verdict cache makes a window that has closed a
+cycle nearly free, see the table notes.)
 """
 
 from __future__ import annotations
@@ -119,8 +121,11 @@ def test_e10_ablation_table():
             timing["incremental"] <= timing["full"]
         ), "persistent engine must beat per-step recomputation"
         assert (
-            timing["incremental+prune"] < timing["incremental"]
-        ), "pruning must pay at every stream length"
+            timing["incremental+prune"] <= timing["full"]
+        ), "pruning must still beat per-step recomputation"
+        assert (
+            final_size["incremental+prune"] < final_size["incremental"]
+        ), "pruning is what keeps the window bounded"
     record_table(
         "e10_closure_ablation",
         "E10: closure maintenance ablation",
@@ -131,13 +136,17 @@ def test_e10_ablation_table():
             "5-step transactions committed as they finish.  The "
             "persistent engine (incr) beats per-step recomputation at "
             "every size; pruning retired transactions is what keeps the "
-            "window — and per-step cost — bounded.  Before/after the "
-            "incremental reachability core (seed revision first, 240 "
-            "steps): full 683 -> ~290 ms, incr 825 -> ~180 ms, "
-            "incr+prune 196 -> ~35 ms — the seed's incremental mode was "
-            "a *regression* over full recomputation; carrying "
-            "reachability state across perform/commit/prune turned it "
-            "into a strict win."
+            "window *size* bounded (last two columns).  History at 240 "
+            "steps: seed full 683 / incr 825 / incr+prune 196 ms; after "
+            "the incremental reachability core ~290 / ~180 / ~35 ms; "
+            "after the cyclic-verdict cache the unpruned stream drops to "
+            "~1 ms — this workload closes a cycle early and growth "
+            "cannot un-close it, so every later observe returns the "
+            "cached terminal verdict.  Pruning clears that cache (the "
+            "pruned window may become acyclic again), so the honest "
+            "timing comparison for the pruned config is against full "
+            "recomputation, and the pruning lever shows up in the "
+            "window-size columns rather than raw time."
         ),
     )
 

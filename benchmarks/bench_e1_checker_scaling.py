@@ -18,6 +18,8 @@ Workload: ``n`` abstract steps over ``n // 5`` transactions with a
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 
@@ -34,6 +36,27 @@ from repro.workloads import random_dependency_pairs
 
 SIZES = [100, 400]          # timed-fixture sizes (kept light)
 TABLE_SIZES = [100, 400, 1600, 6400]
+
+#: Live quick-run history; the *only* remaining role of BENCH_PR2.json
+#: is as collect_results' frozen seed-baseline source.
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH.json")
+
+
+def e1_baselines() -> tuple[dict[str, float], dict[str, float]]:
+    """(seed, previous-run) E1 accept timings in ms keyed by size, read
+    from ``BENCH.json`` — its recorded seed baselines and the most recent
+    quick-run history entry.  Empty dicts when the artefact is absent."""
+    try:
+        with open(BENCH_JSON, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}, {}
+    seed = data.get("seed_baselines_ms", {}).get("e1_accept", {})
+    previous: dict[str, float] = {}
+    history = [e for e in data.get("history", []) if isinstance(e, dict)]
+    if history:
+        previous = history[-1].get("timings_ms", {}).get("e1_accept", {})
+    return dict(seed), dict(previous)
 
 
 def build_spec(step_orders, seed: int):
@@ -122,16 +145,40 @@ def test_e1_scaling_table():
             n_steps,
             f"{accept_ms:.1f}",
             growth,
+            report.closure.backend,
             report.closure.graph.number_of_edges(),
             f"{reject_ms:.1f}",
             "no" if not report_r.correctable else "yes",
         ])
         previous = accept_ms
+    seed, last_run = e1_baselines()
+    baseline_note = ""
+    if seed or last_run:
+        parts = []
+        if seed:
+            parts.append(
+                "seed revision "
+                + ", ".join(
+                    f"{ms:.1f} ms @ {size}"
+                    for size, ms in sorted(seed.items(), key=lambda kv: int(kv[0]))
+                )
+            )
+        if last_run:
+            parts.append(
+                "previous quick run "
+                + ", ".join(
+                    f"{ms:.1f} ms @ {size}"
+                    for size, ms in sorted(last_run.items(), key=lambda kv: int(kv[0]))
+                )
+            )
+        baseline_note = (
+            "  Accept-path baselines from BENCH.json: " + "; ".join(parts) + "."
+        )
     record_table(
         "e1_checker_scaling",
         "E1: Theorem 2 checker cost vs schedule size",
-        ["steps", "accept (ms)", "growth /4x steps", "closure edges",
-         "reject (ms)", "reject verdict"],
+        ["steps", "accept (ms)", "growth /4x steps", "backend",
+         "closure edges", "reject (ms)", "reject verdict"],
         rows,
         notes=(
             "Accept instances run the full closure fixpoint; reject "
@@ -140,15 +187,15 @@ def test_e1_scaling_table():
             "quadratic densification of the closure beyond (the generating "
             "graph itself grows superlinearly) — comfortably inside a "
             "concurrency control's window sizes, which pruning keeps in "
-            "the tens of steps (E10).  Before/after the incremental "
-            "reachability core (same machine, seed revision first): "
-            "accept 392.7 -> ~290 ms and reject 407.2 -> ~140 ms at 6400 "
-            "steps, with the generating edge set cut 60517 -> 49916; at "
-            "1600 steps accept 41.7 -> ~26 ms.  The residual accept cost "
-            "is the dense fixpoint itself (~100-word bitsets times ~50k "
-            "generated edges over 5 cascade rounds), which bounds "
-            "pure-Python gains well short of the 5x aspiration — the "
-            "on-line window path (E10), which is what the schedulers "
-            "actually sit on, gained 2-4x."
+            "the tens of steps (E10).  The backend column is the closure "
+            "engine that produced the accept verdict: the vectorized "
+            "numpy kernel takes over above its auto threshold "
+            "(~3k steps, where whole-matrix word ops beat per-node "
+            "Python loops; below it, per-op numpy overhead loses to the "
+            "tuned python path) and roughly halves the accept cost at "
+            "6400 steps.  The closure-edges count is backend-dependent "
+            "by design: both backends reach the identical closure, but "
+            "the kernel's generating edge set is smaller."
+            + baseline_note
         ),
     )

@@ -160,6 +160,14 @@ class ClosureWindow:
         self._commits_since_prune = 0
         self._live: _LiveState | None = None
         self._last_result: ClosureResult | None = None
+        # Cyclic-verdict cache (incremental mode): the window only ever
+        # *grows* between structural edits, and growth cannot un-close a
+        # cycle, so once a verdict is cyclic every later observe returns
+        # the same result until a rollback/prune/cut-rewrite removes
+        # steps.  Cleared by ``_invalidate`` and on interior cut
+        # rewrites.
+        self._cycle_result: ClosureResult | None = None
+        self.closure_backend = "python"
         self.closure_calls = 0
         self.edges_last = 0
         self.closure_seconds = 0.0
@@ -302,6 +310,7 @@ class ClosureWindow:
             iterations=engine.iterations,
             edges_added=engine.edges_added - edges_added_before,
             index=engine.index,
+            backend=engine.backend_used,
         )
 
     def _recompute(self) -> ClosureResult:
@@ -317,9 +326,12 @@ class ClosureWindow:
         self.closure_edges_propagated += index.edges_propagated
         self.closure_word_ops += index.word_ops
         self.edges_last = index.edges
+        self.closure_backend = engine.backend_used
         result = self._result_of(engine)
         self._live = None if engine.cyclic else live
         self._last_result = result
+        if engine.cyclic:
+            self._cycle_result = result
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -353,6 +365,7 @@ class ClosureWindow:
         result = coherent_closure(spec, seed)
         index = result.index
         assert index is not None
+        self.closure_backend = result.backend
         self.closure_calls += 1
         elapsed = perf_counter() - t0
         self.closure_seconds += elapsed
@@ -367,6 +380,9 @@ class ClosureWindow:
     def _closure_incremental(
         self, extra: tuple[str, StepId, str, StepKind] | None
     ) -> ClosureResult | None:
+        if self._cycle_result is not None:
+            # Growth cannot un-close a cycle; neither can a hypothetical.
+            return self._cycle_result
         if extra is None:
             if not self._order:
                 return None
@@ -409,10 +425,14 @@ class ClosureWindow:
         """Record a performed step and return the closure state."""
         if (
             self.mode == "incremental"
-            and self._live is not None
+            and (self._live is not None or self._cycle_result is not None)
             and self._cuts_changed(name, cut_levels)
         ):
+            # Interior cut rewrites can merge/split segments, which can
+            # remove rule-(b) edges — a cached cyclic verdict may no
+            # longer hold, so both caches go.
             self._live = None
+            self._cycle_result = None
         self._steps.setdefault(name, []).append(step)
         self._cuts[name] = dict(cut_levels)
         self._access_of[step] = (entity, kind)
@@ -422,6 +442,12 @@ class ClosureWindow:
             assert result is not None
             return result
         self._last_result = None
+        cached = self._cycle_result
+        if cached is not None:
+            # Growth cannot un-close a cycle: skip the engine entirely.
+            self.closure_calls += 1
+            self._last_result = cached
+            return cached
         live = self._live
         if live is None:
             return self._recompute()
@@ -452,6 +478,7 @@ class ClosureWindow:
             # cycle.  The scheduler will roll something back, which
             # invalidates anyway; rebuild lazily from whatever survives.
             self._live = None
+            self._cycle_result = result
         return result
 
     def hypothetical(
@@ -479,6 +506,7 @@ class ClosureWindow:
         metrics.closure_seconds = self.closure_seconds
         metrics.closure_edges_propagated = self.closure_edges_propagated
         metrics.closure_word_ops = self.closure_word_ops
+        metrics.closure_backend = self.closure_backend
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -529,6 +557,7 @@ class ClosureWindow:
     def _invalidate(self) -> None:
         self._live = None
         self._last_result = None
+        self._cycle_result = None
 
     def mark_committed(self, name: str) -> None:
         self._committed.add(name)

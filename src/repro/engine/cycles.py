@@ -1,0 +1,125 @@
+"""Wait-graph cycle detection without networkx overhead.
+
+The schedulers and the engine detect circular waits on graphs that are
+nearly always tiny (a handful of live transactions) but are rebuilt and
+searched on *every* blocked request — profiling the E4-class banking
+workload put ``nx.find_cycle`` at over half the mla-prevent run time,
+almost all of it networkx dispatch and view construction, not search.
+
+This module is a semantics-exact port of networkx's directed
+``find_cycle`` (edge depth-first search, same node/edge visitation
+order, same tail pruning, same returned edge list).  Exactness matters:
+*which* cycle is surfaced decides which victim is rolled back, and the
+service/library bit-identical differentials pin that choice.  A
+differential test drives both implementations over random digraphs.
+
+``WaitGraph`` mirrors the ``nx.DiGraph`` construction the call sites
+used: node order is first appearance as an edge endpoint, successor
+order is edge insertion order, duplicate edges are ignored.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+__all__ = ["WaitGraph"]
+
+
+class WaitGraph:
+    """A minimal insertion-ordered digraph supporting ``find_cycle``."""
+
+    __slots__ = ("_succ",)
+
+    def __init__(
+        self, edges: Iterable[tuple[Hashable, Hashable]] = ()
+    ) -> None:
+        self._succ: dict[Hashable, dict[Hashable, None]] = {}
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        succ = self._succ
+        out = succ.get(u)
+        if out is None:
+            out = succ[u] = {}
+        if v not in succ:
+            succ[v] = {}
+        out[v] = None
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def _edge_dfs(self, start):
+        """Directed edge DFS from ``start``: every reachable edge exactly
+        once, out-edges in insertion order (networkx ``edge_dfs``)."""
+        succ = self._succ
+        visited_edges: set[tuple] = set()
+        iters: dict[Hashable, object] = {}
+        stack = [start]
+        while stack:
+            current = stack[-1]
+            it = iters.get(current)
+            if it is None:
+                it = iters[current] = iter(succ.get(current, ()))
+            head = next(it, _DONE)
+            if head is _DONE:
+                stack.pop()
+                continue
+            edge = (current, head)
+            if edge not in visited_edges:
+                visited_edges.add(edge)
+                stack.append(head)
+                yield edge
+
+    def find_cycle(self, source: Hashable | None = None):
+        """One directed cycle as its edge list, or ``None``.
+
+        With ``source`` the search starts (only) there; a source absent
+        from the graph finds nothing.  Matches ``nx.find_cycle`` output
+        edge-for-edge on identically-constructed graphs.
+        """
+        succ = self._succ
+        if source is None:
+            start_nodes: Iterable[Hashable] = succ
+        elif source in succ:
+            start_nodes = (source,)
+        else:
+            return None
+        explored: set[Hashable] = set()
+        for start_node in start_nodes:
+            if start_node in explored:
+                continue
+            edges: list[tuple] = []
+            seen = {start_node}
+            active_nodes = {start_node}
+            previous_head = None
+            for edge in self._edge_dfs(start_node):
+                tail, head = edge
+                if head in explored:
+                    # Entering explored territory cannot close a cycle.
+                    continue
+                if previous_head is not None and tail != previous_head:
+                    # The DFS backtracked: prune the stored path down to
+                    # the fork this edge hangs off.
+                    while True:
+                        if not edges:
+                            active_nodes = {tail}
+                            break
+                        active_nodes.remove(edges.pop()[1])
+                        if edges and tail == edges[-1][1]:
+                            break
+                edges.append(edge)
+                if head in active_nodes:
+                    # Trim the tail leading into the cycle.
+                    for i, (cycle_tail, _) in enumerate(edges):
+                        if cycle_tail == head:
+                            return edges[i:]
+                    return edges
+                seen.add(head)
+                active_nodes.add(head)
+                previous_head = head
+            explored.update(seen)
+        return None
+
+
+_DONE = object()

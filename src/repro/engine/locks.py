@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
-
+from repro.engine.cycles import WaitGraph
 from repro.errors import EngineError
 
 __all__ = ["LockManager", "LockMode"]
@@ -146,10 +145,8 @@ class LockManager:
         sig = frozenset(edges)
         if sig == self._acyclic_sig:
             return None
-        graph = nx.DiGraph(edges)
-        try:
-            cycle = nx.find_cycle(graph)
-        except nx.NetworkXNoCycle:
+        cycle = WaitGraph(edges).find_cycle()
+        if cycle is None:
             self._acyclic_sig = sig
             return None
         return [u for u, _ in cycle]

@@ -33,6 +33,7 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core import closure_kernel
 from repro.core.interleaving import InterleavingSpec
 from repro.core.nests import KNest
 from repro.engine.metrics import Metrics
@@ -257,6 +258,8 @@ class Engine:
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._mx = self._bind_metrics() if self.registry.enabled else None
+        if self._mx is not None:
+            self._mx["closure_backend"].set(1)
         self.max_ticks = max_ticks
         self.stall_limit = stall_limit
         self.backoff = backoff
@@ -364,6 +367,16 @@ class Engine:
                 help="Engine logical-clock high-water mark.",
                 labels=("scheduler",),
             ).labels(**label),
+            "closure_backend": registry.gauge(
+                "repro_closure_backend_info",
+                help="Closure backend the auto seam resolves to for this "
+                     "run (info gauge: value is constant 1, the backend "
+                     "rides in the label).",
+                labels=("scheduler", "backend"),
+            ).labels(
+                scheduler=self.scheduler.name,
+                backend=closure_kernel.default_backend(),
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -705,12 +718,12 @@ class Engine:
         """Transactions mutually blocked by uncommitted-write consumption
         (e.g. two attempts that overwrote each other's entities in
         opposite orders can never satisfy each other's commit rule)."""
-        import networkx as nx
+        from repro.engine.cycles import WaitGraph
 
-        graph: nx.DiGraph = nx.DiGraph()
+        graph = WaitGraph()
         # Sorted: ``deps`` is a set of string tuples, and set iteration
         # order varies with hash randomisation.  Edge insertion order
-        # decides *which* cycle networkx reports (hence the victim), so
+        # decides *which* cycle is reported (hence the victim), so
         # unsorted iteration made victim choice differ across processes
         # — fatal for the service/library bit-identical differential.
         for state in self.active_states():
@@ -722,9 +735,8 @@ class Engine:
                     and other.attempt == dep_attempt
                 ):
                     graph.add_edge(state.name, dep_name)
-        try:
-            cycle = nx.find_cycle(graph, source=txn.name)
-        except (nx.NetworkXNoCycle, nx.NetworkXError):
+        cycle = graph.find_cycle(source=txn.name)
+        if cycle is None:
             return None
         return [self.txns[u] for u, _ in cycle]
 

@@ -26,10 +26,9 @@ property tests verify exactly that.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro.core.nests import KNest
 from repro.engine.closure_window import ClosureWindow
+from repro.engine.cycles import WaitGraph
 from repro.engine.locks import LockManager, LockMode
 from repro.engine.schedulers._certify import certify_commit
 from repro.engine.schedulers.base import Decision, Scheduler
@@ -188,7 +187,7 @@ class MLAPreventScheduler(Scheduler):
         return Decision.perform()
 
     def _wait_cycle(self) -> list[str] | None:
-        graph = nx.DiGraph()
+        graph = WaitGraph()
         for waiter, blockers in self._waiting_on.items():
             # Sorted: edge insertion order decides which cycle
             # ``find_cycle`` surfaces (hence the victim), and raw set
@@ -196,10 +195,10 @@ class MLAPreventScheduler(Scheduler):
             for blocker in sorted(blockers):
                 graph.add_edge(waiter, blocker)
         if self.locks is not None:
-            graph.add_edges_from(self.locks.waits_for_edges())
-        try:
-            cycle = nx.find_cycle(graph)
-        except nx.NetworkXNoCycle:
+            for u, v in self.locks.waits_for_edges():
+                graph.add_edge(u, v)
+        cycle = graph.find_cycle()
+        if cycle is None:
             return None
         return [u for u, _ in cycle]
 

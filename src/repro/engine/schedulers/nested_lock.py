@@ -27,10 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
-
 from repro.core.nests import KNest
 from repro.engine.closure_window import ClosureWindow
+from repro.engine.cycles import WaitGraph
 from repro.engine.schedulers._certify import certify_commit
 from repro.engine.schedulers.base import Decision, Scheduler
 
@@ -126,13 +125,12 @@ class NestedLockScheduler(Scheduler):
         tr = self.tracer
         if blockers:
             self._waiting_on[txn.name] = blockers
-            graph = nx.DiGraph()
+            graph = WaitGraph()
             for waiter, blocking in self._waiting_on.items():
                 for blocker in blocking:
                     graph.add_edge(waiter, blocker)
-            try:
-                cycle = [u for u, _ in nx.find_cycle(graph)]
-            except nx.NetworkXNoCycle:
+            edge_cycle = graph.find_cycle()
+            if edge_cycle is None:
                 if self._mx_retention_waits is not None:
                     self._mx_retention_waits.inc()
                 if tr.enabled:
@@ -146,6 +144,7 @@ class NestedLockScheduler(Scheduler):
                 return Decision.wait(
                     f"{access.entity!r} retained by {sorted(blockers)}"
                 )
+            cycle = [u for u, _ in edge_cycle]
             states = [self.engine.txns[name] for name in cycle]
             victim = max(states, key=lambda t: (t.priority, t.name))
             self.engine.metrics.deadlocks += 1

@@ -1,0 +1,322 @@
+"""Differential tests: vectorized closure kernel vs the pure-python path.
+
+The numpy backend must be observationally identical to the pure-python
+closure: same acyclicity verdicts, same reachable-pair sets, same cycle
+witnesses (the kernel declines cyclic instances, so witnesses come from
+the python fallback on both sides).  Only the *generating* edge sets and
+the ``iterations``/``edges`` effort counters may differ — nothing here
+compares those.
+
+Backend forcing goes through the ``REPRO_CLOSURE_BACKEND`` environment
+variable, which the kernel reads per call, so a context manager around
+each closure invocation is enough — no process restart needed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    BreakpointDescription,
+    InterleavingSpec,
+    KNest,
+    coherent_closure,
+)
+from repro.core import closure_kernel
+from repro.engine import ClosureWindow
+from repro.model import StepId, StepKind
+
+from .strategies import specs_with_seeds
+
+HAVE_NUMPY = closure_kernel.kernel_available()
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@contextmanager
+def forced(backend: str):
+    var = "REPRO_CLOSURE_BACKEND"
+    old = os.environ.get(var)
+    os.environ[var] = backend
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = old
+
+
+def both_backends(spec, seed):
+    with forced("python"):
+        rp = coherent_closure(spec, seed)
+    with forced("numpy"):
+        rn = coherent_closure(spec, seed)
+    return rp, rn
+
+
+def assert_identical(rp, rn):
+    assert rp.is_partial_order == rn.is_partial_order
+    if rp.is_partial_order:
+        assert rp.pairs() == rn.pairs()
+    else:
+        # The kernel declines cyclic instances, so the witness is the
+        # python fallback's canonical one on both sides.
+        assert rn.backend == "python"
+        assert rp.cycle == rn.cycle
+
+
+# ----------------------------------------------------------------------
+# backend seam
+# ----------------------------------------------------------------------
+
+
+def test_backend_choice_rejects_unknown():
+    with forced("fortran"):
+        with pytest.raises(ValueError):
+            closure_kernel.backend_choice()
+
+
+def test_backend_choice_env_values():
+    for value in ("auto", "numpy", "python"):
+        with forced(value):
+            assert closure_kernel.backend_choice() == value
+
+
+def test_should_try_python_never():
+    with forced("python"):
+        assert not closure_kernel.should_try(10**9)
+
+
+def test_default_backend_matches_availability():
+    with forced("auto"):
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert closure_kernel.default_backend() == expected
+
+
+@needs_numpy
+def test_should_try_auto_threshold():
+    with forced("auto"):
+        assert not closure_kernel.should_try(closure_kernel.NUMPY_MIN_NODES - 1)
+        assert closure_kernel.should_try(closure_kernel.NUMPY_MIN_NODES)
+    with forced("numpy"):
+        assert closure_kernel.should_try(1)
+        assert not closure_kernel.should_try(0)
+
+
+def test_forced_python_closure_reports_python_backend():
+    spec, seed = two_chain_spec(5, 5)
+    with forced("python"):
+        result = coherent_closure(spec, seed)
+    assert result.backend == "python"
+
+
+# ----------------------------------------------------------------------
+# random differential
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs_with_seeds(max_pairs=8, max_transactions=5, max_steps=6))
+def test_differential_random_specs(spec_and_seed):
+    spec, seed = spec_and_seed
+    rp, rn = both_backends(spec, seed)
+    assert_identical(rp, rn)
+
+
+@needs_numpy
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs_with_seeds(max_pairs=8, max_transactions=5, max_steps=6))
+def test_differential_reach_queries(spec_and_seed):
+    """Row-level agreement: the lazily-materialized numpy index answers
+    point queries exactly like the python-built one."""
+    spec, seed = spec_and_seed
+    rp, rn = both_backends(spec, seed)
+    if not rp.is_partial_order:
+        return
+    ip, iq = rp.index, rn.index
+    assert ip is not None and iq is not None
+    steps = sorted(spec.steps)
+    for u in steps:
+        assert ip.descendants_mask(u) == iq.descendants_mask(u)
+        assert ip.ancestors_mask(u) == iq.ancestors_mask(u)
+    for u in steps[:3]:
+        for v in steps:
+            assert ip.reaches(u, v) == iq.reaches(u, v)
+
+
+# ----------------------------------------------------------------------
+# word-boundary sizes
+# ----------------------------------------------------------------------
+
+
+def two_chain_spec(len_a: int, len_b: int):
+    """Two flat serial transactions of the given lengths, seeded with a
+    few forward cross edges (deterministic)."""
+    nest = KNest.from_paths({"a": ("g",), "b": ("g",)})
+    k = nest.k
+    descriptions = {
+        "a": BreakpointDescription.from_cut_levels(
+            [f"a{j}" for j in range(len_a)], k,
+            {gap: 2 for gap in range(0, len_a - 1, 3)},
+        ),
+        "b": BreakpointDescription.from_cut_levels(
+            [f"b{j}" for j in range(len_b)], k,
+            {gap: 2 for gap in range(0, len_b - 1, 4)},
+        ),
+    }
+    spec = InterleavingSpec(nest, descriptions)
+    seed = {(f"a{j}", f"b{j}") for j in range(0, min(len_a, len_b), 2)}
+    return spec, seed
+
+
+@needs_numpy
+@pytest.mark.parametrize("total", [63, 64, 65, 127, 128, 129])
+def test_word_boundary_sizes(total):
+    """Node counts straddling uint64-word boundaries: the padded bitset
+    layout must not lose or invent bits at the seams."""
+    len_a = total // 2
+    len_b = total - len_a
+    spec, seed = two_chain_spec(len_a, len_b)
+    rp, rn = both_backends(spec, seed)
+    assert_identical(rp, rn)
+    assert len(spec.steps) == total
+
+
+@needs_numpy
+def test_single_block_multiple_words():
+    """One long transaction alone (no cross edges): chain closure only."""
+    spec, _ = two_chain_spec(70, 3)
+    rp, rn = both_backends(spec, set())
+    assert_identical(rp, rn)
+
+
+# ----------------------------------------------------------------------
+# lazy writeback + delta repair
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+def test_lazy_index_survives_incremental_growth():
+    """A lazily-materialized kernel index must accept further edges and
+    ``refresh`` exactly like the python-built index (the kernel's
+    writeback is forced on first touch)."""
+    spec, seed = two_chain_spec(20, 20)
+    rp, rn = both_backends(spec, seed)
+    assert rp.is_partial_order and rn.is_partial_order
+    ip, iq = rp.index, rn.index
+    rng = random.Random(7)
+    steps = sorted(spec.steps)
+    # Per-edge batches: ``reaches`` is stale between silent inserts, so
+    # only a refreshed index can guard the next edge's acyclicity.  The
+    # first refresh repairs a kernel-built index with no saved topo
+    # (falls back to recompute); later ones exercise the true
+    # delta-repair sweep over the now-saved order.
+    for _ in range(12):
+        u, v = rng.sample(steps, 2)
+        if ip.reaches(v, u):
+            continue
+        ip.add_edge_silent_ids(ip.id_of(u), ip.id_of(v))
+        iq.add_edge_silent_ids(iq.id_of(u), iq.id_of(v))
+        assert ip.refresh([(ip.id_of(u), ip.id_of(v))]) is not None
+        assert iq.refresh([(iq.id_of(u), iq.id_of(v))]) is not None
+        assert ip.pairs() == iq.pairs()
+
+
+@needs_numpy
+def test_lazy_index_clone_materializes():
+    spec, seed = two_chain_spec(16, 16)
+    with forced("numpy"):
+        rn = coherent_closure(spec, seed)
+    assert rn.is_partial_order
+    clone = rn.index.clone()
+    assert clone.pairs() == rn.index.pairs()
+
+
+# ----------------------------------------------------------------------
+# window differential
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+def test_window_differential_forced_backends():
+    """Identical step-by-step verdicts when the window's rebuilds go
+    through the kernel vs pure python."""
+    nest = KNest.from_paths({f"t{i}": ("g",) for i in range(4)})
+
+    def drive(backend: str):
+        verdicts = []
+        with forced(backend):
+            window = ClosureWindow(nest, mode="incremental", prune_interval=5)
+            rng = random.Random(11)
+            counters = {f"t{i}": 0 for i in range(4)}
+            cuts: dict[str, dict[int, int]] = {f"t{i}": {} for i in range(4)}
+            for _ in range(48):
+                name = rng.choice(sorted(counters))
+                index = counters[name]
+                counters[name] += 1
+                if index > 0 and rng.random() < 0.5:
+                    cuts[name][index - 1] = 2
+                result = window.observe(
+                    name, StepId(name, index), f"x{rng.randrange(4)}",
+                    StepKind.UPDATE, cuts[name],
+                )
+                verdicts.append(result.is_partial_order)
+                if counters[name] == 5:
+                    window.mark_committed(name)
+        return verdicts
+
+    assert drive("python") == drive("numpy")
+
+
+def test_window_cyclic_verdict_cached():
+    """Once the window closes a cycle, later observes return the cached
+    terminal verdict (still counted as closure calls) until a structural
+    edit clears it."""
+    nest = KNest.from_paths({"a": ("g",), "b": ("g",)})
+    window = ClosureWindow(nest, mode="incremental", prune_interval=10**9)
+    # a0 -> b0 (entity x) then b1 -> a1 (entity y) closes a cycle through
+    # the serial chains: a0 < a1, b0 < b1, a1 -> ... wait for verdict.
+    seqs = [
+        ("a", 0, "x"), ("b", 0, "x"),  # a0 -> b0
+        ("b", 1, "y"), ("a", 1, "y"),  # b1 -> a1, chains close the loop
+    ]
+    result = None
+    for name, idx, entity in seqs:
+        result = window.observe(
+            name, StepId(name, idx), entity, StepKind.UPDATE, {}
+        )
+    assert result is not None and not result.is_partial_order
+    cached = window._cycle_result
+    assert cached is result
+    calls = window.closure_calls
+    again = window.observe("a", StepId("a", 2), "z", StepKind.UPDATE, {})
+    assert again is cached
+    assert window.closure_calls == calls + 1
+    # Rollback clears the cache.
+    window.drop("b")
+    assert window._cycle_result is None
+    fresh = window.observe("a", StepId("a", 3), "z", StepKind.UPDATE, {})
+    assert fresh.is_partial_order
+
+
+# ----------------------------------------------------------------------
+# metrics plumbing
+# ----------------------------------------------------------------------
+
+
+def test_metrics_summary_reports_backend():
+    from repro.engine.metrics import Metrics
+
+    m = Metrics()
+    assert m.summary()["closure_backend"] == "python"
+    other = Metrics(closure_backend="numpy")
+    m.merge(other)
+    assert m.closure_backend == "mixed"
