@@ -99,6 +99,7 @@ ORDER = [
     "e13_nested_locking",
     "e14_fault_sweep",
     "e15_soak",
+    "e16_crash_fuzz",
 ]
 
 HEADER = """# EXPERIMENTS — measured results
@@ -133,6 +134,7 @@ Regenerate everything with::
 | Intermediate recovery unit (§1) | — (paper only cautions) | segment recovery preserves steps but re-enters conflicts: a quantified *negative* result matching the caution (E12) | informative |
 | Nested-transaction implementation efficiency (§7, open) | — (open question) | breakpoint-released locking matches prevention at lock-table cost; provably incomplete (counterexample); certified hybrid sound (E13) | answered |
 | Migrating transactions on a *real* (faulty) network (§6, implicit) | — (§6 assumes perfect delivery) | at-least-once protocol masks 20% drop/dup/reorder plus node crashes: 100% checker acceptance, committed results bitwise equal to the fault-free run (E14) | extended |
+| Single-site durability (§1's long-lived transactions must survive the scheduler's own process) | — (paper assumes a stable site) | engine WAL + snapshots + deterministic replay: hundreds of seeded crash points (incl. torn tails) all recover bitwise-identical and continue to the reference history (E16) | extended |
 
 ---
 """
@@ -459,6 +461,7 @@ def run_quick(
     import bench_e10_closure_ablation as e10
     import bench_e14_fault_sweep as e14
     import bench_e15_soak as e15
+    import bench_e16_crash_fuzz as e16
     from repro.core import check_correctability
 
     timings: dict[str, dict[str, float]] = {
@@ -514,6 +517,17 @@ def run_quick(
         str(service_summary["transactions"]):
             (time.perf_counter() - start) * 1000,
     }
+    # E16 smoke: a seeded crash-point fuzz over the engine WAL (record
+    # boundaries + torn tails) — every kill must recover bitwise and
+    # continue to the reference history.  Recovery time and the
+    # WAL-enabled overhead ratio land in the summary; the overhead is
+    # warn-only (fsync cost is hardware, never a CI gate).
+    start = time.perf_counter()
+    durability_summary = e16.smoke()
+    timings["e16_crash_fuzz"] = {
+        str(durability_summary["fuzz"]["cuts"]):
+            (time.perf_counter() - start) * 1000,
+    }
     baselines = seed_baselines()
     speedups = {
         f"{key}_{size}": round(base / timings[key][size], 2)
@@ -539,10 +553,14 @@ def run_quick(
             "e15": "service smoke (socket server ingest: SLOs asserted, "
                    "committed history bit-identical to the library "
                    "replay)",
+            "e16": "durability smoke (seeded crash-point fuzz incl. torn "
+                   "tails: recover-and-continue asserted; recovery time "
+                   "and WAL overhead recorded, overhead warn-only)",
         },
         "trace": trace_smoke(),
         "obs": obs_smoke(),
         "service": service_summary,
+        "durability": durability_summary,
         "closure_backend_comparison": closure_backend_comparison(e1),
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}
@@ -593,6 +611,9 @@ def write_quick(path: str = QUICK_TARGET) -> dict:
             # out of band; a quick run must not drop it.
             if "e15_soak" in old:
                 data["e15_soak"] = old["e15_soak"]
+            # Likewise the full E16 sweep (bench_e16_crash_fuzz.py).
+            if "e16_durability" in old:
+                data["e16_durability"] = old["e16_durability"]
             history = [
                 entry for entry in old.get("history", [])
                 if isinstance(entry, dict)

@@ -468,6 +468,8 @@ def cmd_serve(args) -> int:
         nest_depth=args.nest_depth,
         tick_batch=args.batch,
         admission=AdmissionConfig(window=args.window),
+        wal_dir=args.wal,
+        wal_snapshot_every=args.wal_snapshot_every,
     )
 
     async def _run() -> int:
@@ -692,6 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch", type=int, default=256,
         help="engine ticks per pump slice (default 256)",
+    )
+    serve.add_argument(
+        "--wal", default=None, metavar="DIR",
+        help="durability directory: append a write-ahead log (+ periodic "
+        "snapshots) there, and recover from it on restart",
+    )
+    serve.add_argument(
+        "--wal-snapshot-every", type=int, default=0, metavar="TICKS",
+        help="snapshot cadence in ticks (default 0 = never; recovery "
+        "then replays the whole log)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -26,6 +26,7 @@ origin after a backoff.
 
 from __future__ import annotations
 
+import os
 import random
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
@@ -1016,6 +1017,7 @@ class DistributedRuntime:
         tracer=None,
         registry: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
+        wal_dir: str | None = None,
     ) -> None:
         programs = list(programs)
         self.registry = registry if registry is not None else NULL_REGISTRY
@@ -1082,6 +1084,10 @@ class DistributedRuntime:
             )
             if node_registry is not None:
                 self._node_registries[node_name] = node_registry
+            wal_path = None
+            if wal_dir is not None:
+                os.makedirs(wal_dir, exist_ok=True)
+                wal_path = os.path.join(wal_dir, f"{node_name}.wal")
             self.nodes.append(
                 DataNode(
                     node_name,
@@ -1093,6 +1099,8 @@ class DistributedRuntime:
                     retry_delay=retry_delay,
                     rexmit_delay=rexmit_delay,
                     registry=node_registry,
+                    wal_path=wal_path,
+                    catalog={p.name: p for p in programs},
                 )
             )
         self._initial_values = dict(initial_values)

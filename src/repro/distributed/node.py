@@ -13,6 +13,15 @@ handlers are idempotent behind dedup state; and a crash wipes volatile
 state (parked transactions, timers, retransmit chains) while the entity
 store and the write-ahead log — unacknowledged performed-reports plus
 applied-undo ids — survive to be replayed on recovery.
+
+With ``wal_path`` the log is real: each performed-report, its ack, and
+each applied undo is appended to a framed, checksummed on-disk log (the
+same record format as the engine WAL in :mod:`repro.durability.wal`).
+A node reconstructed over an existing file replays the intact prefix —
+a torn or corrupt tail record is truncated, exactly the engine's
+torn-tail rule — and rebuilds ``psn``, the unacknowledged performed
+tail (re-deriving each in-flight transaction from its program plus
+logged access results), and the undo dedup set.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from repro.distributed.migration import MigratingTransaction
 from repro.distributed.network import Message, Network
 from repro.errors import NetworkError
 from repro.model.programs import TransactionProgram
+from repro.model.steps import StepId, StepKind, StepRecord
 from repro.model.variables import EntityStore
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -41,6 +51,8 @@ class DataNode:
         retry_delay: float = 2.0,
         rexmit_delay: float = 4.0,
         registry: MetricsRegistry | None = None,
+        wal_path: str | None = None,
+        catalog: dict[str, TransactionProgram] | None = None,
     ) -> None:
         self.name = name
         self.network = network
@@ -94,6 +106,17 @@ class DataNode:
         self._performed_unacked: dict[str, dict] = {}
         self._undo_applied: set[str] = set()
         self._crash_epoch = 0
+        # The program catalog for WAL replay: a performed-report may
+        # belong to a transaction homed on another node, so replay needs
+        # every program, not just the home set.
+        self._catalog = dict(catalog) if catalog else dict(home_programs)
+        self._wal = None
+        if wal_path is not None:
+            from repro.durability.wal import LogFile, encode_record
+
+            self._encode = encode_record
+            self._wal = LogFile(wal_path)
+            self._replay_wal()
         network.register(name, self.handle)
         network.register_crash_hooks(
             name, self._on_crash_event, self._on_recover_event
@@ -123,6 +146,70 @@ class DataNode:
 
     def _next_delay(self, payload: dict) -> float:
         return min(payload["delay"] * 2.0, self.rexmit_cap)
+
+    # ------------------------------------------------------------------
+    # on-disk write-ahead log (shared framed/checksummed codec)
+    # ------------------------------------------------------------------
+
+    def _wal_append(self, record: dict) -> None:
+        self._wal.append(self._encode(record))
+        self._wal.sync()
+
+    def _replay_wal(self) -> None:
+        """Rebuild the durable state from the log's intact prefix.
+
+        ``performed`` re-derives the in-flight transaction object by
+        fast-forwarding a fresh instance of its program through the
+        logged access results; ``performed-ack`` retires it; ``undo``
+        re-arms the dedup set.  A torn tail was already truncated by
+        :class:`repro.durability.wal.LogFile`.
+        """
+        epochs = [0]
+        for record in self._wal.records():
+            kind = record["t"]
+            if kind == "performed":
+                program = self._catalog.get(record["name"])
+                if program is None:
+                    raise NetworkError(
+                        f"node {self.name!r} WAL names unknown program "
+                        f"{record['name']!r}"
+                    )
+                txn = MigratingTransaction(
+                    program, record["origin"], record["attempt"]
+                )
+                txn.live.fast_forward(record["results"])
+                step = None
+                if record["record"] is not None:
+                    r = record["record"]
+                    step = StepRecord(
+                        StepId(record["name"], r["index"]),
+                        r["entity"],
+                        StepKind(r["kind"]),
+                        r["before"],
+                        r["after"],
+                    )
+                self._performed_unacked[record["uid"]] = {
+                    "txn": txn,
+                    "record": step,
+                    "node": self.name,
+                    "name": record["name"],
+                    "attempt": record["attempt"],
+                    "steps": record["steps"],
+                    "cuts": dict(record["cuts"]),
+                    "finished": record["finished"],
+                    "epoch": record["epoch"],
+                    "uid": record["uid"],
+                    "psn": record["psn"],
+                }
+                self._psn = max(self._psn, record["psn"] + 1)
+                epochs.append(record["epoch"])
+            elif kind == "performed-ack":
+                self._performed_unacked.pop(record["uid"], None)
+            elif kind == "undo":
+                self._undo_applied.add(record["uid"])
+        # A reopened log means the previous incarnation is gone: start a
+        # fresh epoch so new uids cannot collide with logged ones.
+        self._crash_epoch = max(epochs) + 1 if self._wal.payloads else 0
 
     # ------------------------------------------------------------------
     # crash / recovery
@@ -251,6 +338,29 @@ class DataNode:
             payload["psn"] = self._psn
             self._psn += 1
             self._performed_unacked[uid] = payload
+            if self._wal is not None:
+                self._wal_append({
+                    "t": "performed",
+                    "uid": uid,
+                    "psn": payload["psn"],
+                    "name": txn.name,
+                    "origin": txn.origin,
+                    "attempt": txn.attempt,
+                    "steps": txn.steps_taken,
+                    "cuts": txn.cut_levels,
+                    "finished": txn.finished,
+                    "epoch": self._crash_epoch,
+                    "results": list(txn.live.results_log),
+                    "record": (
+                        None if record is None else {
+                            "index": record.step.index,
+                            "entity": record.entity,
+                            "kind": record.kind.value,
+                            "before": record.value_before,
+                            "after": record.value_after,
+                        }
+                    ),
+                })
             self._rexmit("rexmit-performed", {"uid": uid}, self.rexmit_delay)
         self.network.send(
             self.sequencer, Message("performed", payload), source=self.name
@@ -270,6 +380,11 @@ class DataNode:
         )
 
     def _on_performed_ack(self, payload: dict) -> None:
+        if (
+            self._wal is not None
+            and payload["uid"] in self._performed_unacked
+        ):
+            self._wal_append({"t": "performed-ack", "uid": payload["uid"]})
         self._performed_unacked.pop(payload["uid"], None)
 
     def _launch(self, txn: MigratingTransaction) -> None:
@@ -462,6 +577,13 @@ class DataNode:
             )
             if payload["uid"] in self._undo_applied:
                 return  # duplicate undo: already applied (durably logged)
+            if self._wal is not None:
+                self._wal_append({
+                    "t": "undo",
+                    "uid": payload["uid"],
+                    "entity": payload["entity"],
+                    "value": payload["value"],
+                })
             self._undo_applied.add(payload["uid"])
         self.store.restore(payload["entity"], payload["value"])
         if self._mx_undos is not None:

@@ -1,0 +1,44 @@
+"""Single-site durability: write-ahead log, snapshots, recovery.
+
+The engine is deterministic given its construction arguments, so the WAL
+is not a redo log in the classical sense: it is the *decision stream* —
+every scheduler/rng-dependent choice in commit-identity order — plus the
+inputs (genesis + program arrivals) needed to re-execute it.  Recovery
+re-runs the engine while a verify-mode WAL checks each re-executed
+decision against the logged one, record for record; any divergence
+raises :class:`repro.errors.RecoveryError` instead of silently forking
+history.
+"""
+
+from repro.durability.snapshot import load_latest_snapshot, write_snapshot
+from repro.durability.wal import (
+    DECISION_TYPES,
+    NULL_WAL,
+    EngineWal,
+    LogFile,
+    frame_record,
+    scan_frames,
+)
+
+__all__ = [
+    "DECISION_TYPES",
+    "EngineWal",
+    "LogFile",
+    "NULL_WAL",
+    "RecoveryReport",
+    "frame_record",
+    "load_latest_snapshot",
+    "recover",
+    "scan_frames",
+    "write_snapshot",
+]
+
+
+def __getattr__(name):
+    # recovery imports the engine/api layers, which themselves import
+    # this package's wal module — resolve lazily to break the cycle.
+    if name in ("recover", "RecoveryReport"):
+        from repro.durability import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(name)

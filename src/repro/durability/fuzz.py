@@ -1,0 +1,433 @@
+"""Crash-point fuzzing: kill the WAL at arbitrary byte offsets, recover,
+and diff against an oracle that never crashed.
+
+Every cut of a completed run's log — at a record boundary, mid-record
+(a torn write), or derived from a :class:`repro.distributed.faults`
+crash schedule — must recover to an engine whose partial history,
+committed state, metrics (modulo wall time) and full dynamic state are
+bitwise-identical to a never-crashed engine advanced to the same
+horizon, and whose continuation reaches the same final history.  Every
+divergence this harness finds is a bug.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import shutil
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.durability.recovery import recover
+from repro.durability.wal import DECISION_TYPES, EngineWal, scan_frames
+from repro.errors import RecoveryError
+
+__all__ = [
+    "CutResult",
+    "FuzzReport",
+    "default_specs",
+    "enumerate_cuts",
+    "fuzz_crash_points",
+    "run_reference",
+]
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+
+
+def default_specs(
+    txns: int = 8,
+    entities: int = 4,
+    depth: int = 2,
+    seed: int = 0,
+    steps: int = 5,
+):
+    """A contentious declarative workload: shared entities, breakpoints
+    at mixed levels, and paths spreading transactions over the nest."""
+    from repro.api import ProgramSpec
+
+    rng = random.Random(seed)
+    names = [f"e{i}" for i in range(entities)]
+    specs = []
+    for t in range(txns):
+        ops: list[tuple] = []
+        for s in range(steps):
+            entity = rng.choice(names)
+            op = rng.randrange(3)
+            if op == 0:
+                ops.append(("read", entity))
+            elif op == 1:
+                ops.append(("add", entity, rng.randrange(-3, 4)))
+            else:
+                ops.append(("set", entity, rng.randrange(50, 150)))
+            if s < steps - 1 and rng.random() < 0.4:
+                ops.append(("bp", rng.randrange(1, depth + 2)))
+        path = tuple(
+            f"g{rng.randrange(2)}" for _ in range(depth)
+        )
+        specs.append(ProgramSpec(f"t{t:02d}", tuple(ops), path))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# reference run
+# ----------------------------------------------------------------------
+
+
+def run_reference(
+    directory: str,
+    specs,
+    *,
+    scheduler: str = "mla-detect",
+    seed: int = 0,
+    recovery_unit: str = "transaction",
+    stall_limit: int = 500,
+    backoff: int = 4,
+    snapshot_every: int = 0,
+    initial_value: int = 100,
+    arrivals=None,
+):
+    """Run the workload to completion with an engine WAL in
+    ``directory``; returns ``(engine, result)``."""
+    from repro.api import make_scheduler
+    from repro.core.nests import PathNest
+    from repro.engine.runtime import Engine
+
+    depth = len(specs[0].path) if specs else 1
+    nest = PathNest(depth)
+    for spec in specs:
+        nest.add(spec.name, spec.path)
+    initial: dict[str, Any] = {}
+    for spec in specs:
+        for entity in sorted(spec.entities):
+            initial.setdefault(entity, initial_value)
+    arrivals = dict(arrivals or {})
+    wal = EngineWal(directory, snapshot_every=snapshot_every)
+    wal.log_genesis(
+        seed=seed,
+        scheduler=scheduler,
+        recovery=recovery_unit,
+        stall_limit=stall_limit,
+        backoff=backoff,
+        max_ticks=2_000_000,
+        initial=initial,
+        programs=[(spec.name, arrivals.get(spec.name, 0)) for spec in specs],
+        specs={spec.name: spec.to_dict() for spec in specs},
+        meta={"nest_depth": depth},
+    )
+    engine = Engine(
+        [spec.compile() for spec in specs],
+        initial,
+        make_scheduler(scheduler, nest),
+        seed=seed,
+        arrivals=arrivals,
+        stall_limit=stall_limit,
+        backoff=backoff,
+        recovery=recovery_unit,
+        wal=wal,
+    )
+    result = engine.run()
+    wal.sync()
+    wal.close()
+    return engine, result
+
+
+# ----------------------------------------------------------------------
+# cut enumeration
+# ----------------------------------------------------------------------
+
+
+def enumerate_cuts(
+    log_path: str,
+    *,
+    torn_per_record: int = 1,
+    seed: int = 0,
+    fault_plan=None,
+    limit: int | None = None,
+) -> list[tuple[int, str]]:
+    """Byte offsets at which to kill the log: every record boundary
+    after genesis, seeded mid-record torn offsets, and — when a
+    :class:`~repro.distributed.faults.FaultPlan` is given — the record
+    boundaries matching its crash-event ticks."""
+    with open(log_path, "rb") as fh:
+        buf = fh.read()
+    payloads, offsets, valid_end, _ = scan_frames(buf)
+    records = [pickle.loads(p) for p in payloads]
+    if not offsets:
+        return []
+    genesis_end = offsets[1] if len(offsets) > 1 else valid_end
+    rng = random.Random(seed)
+    cuts: list[tuple[int, str]] = []
+    for i, start in enumerate(offsets[1:], start=1):
+        end = offsets[i + 1] if i + 1 < len(offsets) else valid_end
+        cuts.append((start, "boundary"))
+        for _ in range(torn_per_record):
+            if end - start > 1:
+                cuts.append((rng.randrange(start + 1, end), "torn"))
+    cuts.append((valid_end, "boundary"))
+    if fault_plan is not None:
+        for event in getattr(fault_plan, "crashes", ()):
+            for i, record in enumerate(records):
+                if (
+                    record.get("t") in DECISION_TYPES
+                    and record["tick"] >= event.at
+                    and offsets[i] >= genesis_end
+                ):
+                    cuts.append((offsets[i], "fault"))
+                    break
+    seen: set[int] = set()
+    unique = []
+    for offset, kind in cuts:
+        if offset < genesis_end or offset in seen:
+            continue
+        seen.add(offset)
+        unique.append((offset, kind))
+    unique.sort()
+    if limit is not None and len(unique) > limit:
+        step = len(unique) / limit
+        unique = [unique[int(i * step)] for i in range(limit)]
+    return unique
+
+
+# ----------------------------------------------------------------------
+# recover-and-diff
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CutResult:
+    offset: int
+    kind: str
+    ok: bool
+    horizon: int = 0
+    snapshot_tick: int | None = None
+    error: str = ""
+
+
+@dataclass
+class FuzzReport:
+    reference_digest: str = ""
+    cuts: list[CutResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CutResult]:
+        return [c for c in self.cuts if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        kinds: dict[str, int] = {}
+        for cut in self.cuts:
+            kinds[cut.kind] = kinds.get(cut.kind, 0) + 1
+        return {
+            "cuts": len(self.cuts),
+            "failures": len(self.failures),
+            "kinds": kinds,
+        }
+
+
+def _normalized_state(engine) -> dict:
+    """Engine state with replay-exempt fields removed: wall-clock
+    seconds and the pickled closure caches (cache fidelity is checked
+    behaviourally by the continuation diff instead of bytewise)."""
+    state = engine.snapshot_state()
+    state.pop("metrics")
+    sched = state.get("scheduler") or {}
+    blob = sched.get("window")
+    if isinstance(blob, bytes):
+        window = pickle.loads(blob)
+        for key in ("live", "last_result", "cycle_result",
+                    "closure_seconds"):
+            window.pop(key, None)
+        window["shortcut_edges"] = sorted(
+            window.get("shortcut_edges", ())
+        )
+        window["committed"] = sorted(window.get("committed", ()))
+        sched["window"] = window
+    return state
+
+
+def _metrics_summary(engine) -> dict:
+    summary = dict(engine.metrics.summary())
+    summary.pop("closure_seconds", None)
+    return summary
+
+
+def _diff(recovered, oracle) -> str:
+    a = recovered.run(until_tick=recovered.tick)
+    b = oracle.run(until_tick=oracle.tick)
+    if a.history_digest() != b.history_digest():
+        return (
+            f"history digest diverged: {a.history_digest()[:12]} != "
+            f"{b.history_digest()[:12]}"
+        )
+    if a.commit_order != b.commit_order:
+        return f"commit order diverged: {a.commit_order} != {b.commit_order}"
+    if recovered.store.snapshot() != oracle.store.snapshot():
+        return "entity values diverged"
+    if a.results != b.results:
+        return "committed results diverged"
+    if _metrics_summary(recovered) != _metrics_summary(oracle):
+        return (
+            f"metrics diverged: {_metrics_summary(recovered)} != "
+            f"{_metrics_summary(oracle)}"
+        )
+    sa = _normalized_state(recovered)
+    sb = _normalized_state(oracle)
+    if sa != sb:
+        keys = [k for k in sa if sa.get(k) != sb.get(k)]
+        return f"engine state diverged in {keys}"
+    return ""
+
+
+def crash_recover_diff(
+    source_dir: str,
+    cut_offset: int,
+    kind: str,
+    scratch_dir: str,
+    *,
+    reference_result=None,
+    specs=None,
+    log_name: str = "engine.wal",
+) -> CutResult:
+    """Copy the log truncated at ``cut_offset`` (plus any snapshots)
+    into ``scratch_dir``, recover, and diff against a fresh oracle
+    advanced to the recovered horizon — then continue the recovered
+    engine to quiescence and diff the final history against the
+    reference run."""
+    os.makedirs(scratch_dir, exist_ok=True)
+    with open(os.path.join(source_dir, log_name), "rb") as fh:
+        blob = fh.read(cut_offset)
+    with open(os.path.join(scratch_dir, log_name), "wb") as fh:
+        fh.write(blob)
+    for name in os.listdir(source_dir):
+        if name.startswith("snap-") and name.endswith(".bin"):
+            shutil.copy(
+                os.path.join(source_dir, name),
+                os.path.join(scratch_dir, name),
+            )
+    try:
+        report = recover(scratch_dir)
+    except RecoveryError as exc:
+        return CutResult(cut_offset, kind, False, error=f"recover: {exc}")
+    # Oracle: a never-crashed engine advanced to the same horizon.
+    oracle_report = _oracle(report)
+    if report.horizon > oracle_report.engine.tick:
+        oracle_report.engine.advance(until_tick=report.horizon)
+    error = _diff(report.engine, oracle_report.engine)
+    if not error and reference_result is not None:
+        report.engine.advance()
+        final = report.engine.run(until_tick=report.engine.tick)
+        if final.history_digest() != reference_result.history_digest():
+            error = "continuation diverged from the reference history"
+        elif final.commit_order != reference_result.commit_order:
+            error = "continuation commit order diverged"
+        elif final.results != reference_result.results:
+            error = "continuation results diverged"
+    return CutResult(
+        cut_offset,
+        kind,
+        not error,
+        horizon=report.horizon,
+        snapshot_tick=report.snapshot_tick,
+        error=error,
+    )
+
+
+def _oracle(report):
+    """A fresh engine built from the same genesis, never crashed, with
+    no snapshot shortcut and no WAL."""
+    from repro.api import ProgramSpec, make_scheduler
+    from repro.core.nests import PathNest
+    from repro.engine.runtime import Engine
+
+    genesis = report.genesis
+    depth = genesis.get("meta", {}).get("nest_depth", 1)
+    nest = PathNest(depth)
+    table = {}
+    for name, _ in genesis["programs"]:
+        spec = ProgramSpec.from_dict(genesis["specs"][name])
+        nest.add(name, spec.path)
+        table[name] = spec.compile()
+    arrivals = dict(genesis["programs"])
+    initial = dict(genesis["initial"])
+    for add in report.adds:
+        spec = ProgramSpec.from_dict(add["spec"])
+        nest.add(add["name"], spec.path)
+        table[add["name"]] = spec.compile()
+        arrivals[add["name"]] = add["arrival"]
+        for entity, value in add["entities"]:
+            initial.setdefault(entity, value)
+    engine = Engine(
+        list(table.values()),
+        initial,
+        make_scheduler(genesis["scheduler"], nest),
+        seed=genesis["seed"],
+        arrivals=arrivals,
+        max_ticks=genesis["max_ticks"],
+        stall_limit=genesis["stall_limit"],
+        backoff=genesis["backoff"],
+        recovery=genesis["recovery"],
+    )
+
+    class _Oracle:
+        pass
+
+    out = _Oracle()
+    out.engine = engine
+    return out
+
+
+def fuzz_crash_points(
+    workdir: str,
+    *,
+    specs=None,
+    scheduler: str = "mla-detect",
+    seed: int = 0,
+    snapshot_every: int = 0,
+    recovery_unit: str = "transaction",
+    torn_per_record: int = 1,
+    cut_limit: int | None = None,
+    fault_plan=None,
+) -> FuzzReport:
+    """End-to-end sweep: reference run, cut enumeration, recover-and-
+    diff at every cut.  ``workdir`` gets a ``ref/`` log and one scratch
+    dir per cut (reused serially)."""
+    if specs is None:
+        specs = default_specs(seed=seed)
+    ref_dir = os.path.join(workdir, "ref")
+    _, result = run_reference(
+        ref_dir,
+        specs,
+        scheduler=scheduler,
+        seed=seed,
+        snapshot_every=snapshot_every,
+        recovery_unit=recovery_unit,
+    )
+    cuts = enumerate_cuts(
+        os.path.join(ref_dir, "engine.wal"),
+        torn_per_record=torn_per_record,
+        seed=seed,
+        fault_plan=fault_plan,
+        limit=cut_limit,
+    )
+    report = FuzzReport(reference_digest=result.history_digest())
+    scratch = os.path.join(workdir, "cut")
+    for offset, kind in cuts:
+        shutil.rmtree(scratch, ignore_errors=True)
+        report.cuts.append(
+            crash_recover_diff(
+                ref_dir,
+                offset,
+                kind,
+                scratch,
+                reference_result=result,
+                specs=specs,
+            )
+        )
+    return report

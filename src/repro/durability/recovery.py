@@ -1,0 +1,183 @@
+"""Recovery: snapshot + deterministic WAL-suffix replay.
+
+The engine re-derives every decision from its inputs, so recovery does
+not *apply* the log — it re-executes the engine from the latest usable
+snapshot (or genesis) with the WAL in verify mode, which checks each
+re-derived decision against the logged one.  The replay is asserted
+bitwise-identical: any mismatch, leftover logged decision, or extra
+re-derived decision raises :class:`repro.errors.RecoveryError`.
+
+The *round-up rule* handles a crash mid-tick: replay runs through the
+last logged tick, verify consumes the logged prefix of that tick, and
+once the logged decisions drain the WAL flips to append mode — the
+re-executed remainder of the torn tick is appended to the same log.
+Safe because results are only acknowledged after a flush, so the
+appended remainder can only cover unacknowledged work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.durability.snapshot import load_latest_snapshot
+from repro.durability.wal import DECISION_TYPES, EngineWal
+from repro.errors import RecoveryError
+
+__all__ = ["RecoveryReport", "recover"]
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` rebuilt."""
+
+    engine: Any
+    wal: EngineWal
+    nest: Any
+    scheduler: Any
+    genesis: dict
+    adds: list[dict] = field(default_factory=list)
+    horizon: int = 0
+    snapshot_tick: int | None = None
+    truncated: bool = False
+    records: int = 0
+    replayed: int = 0
+
+
+def recover(
+    directory: str,
+    *,
+    programs=None,
+    scheduler=None,
+    nest=None,
+    snapshot_every: int = 0,
+    use_snapshot: bool = True,
+    tracer=None,
+    registry=None,
+    profiler=None,
+) -> RecoveryReport:
+    """Recover an engine from ``directory``'s WAL (+ snapshots).
+
+    ``programs`` supplies native generator programs for genesis entries
+    that carry no declarative spec (the closed-system/library path —
+    generator closures cannot be serialised).  ``scheduler`` and
+    ``nest`` likewise override reconstruction from the genesis record;
+    the service path omits all three and rebuilds everything from the
+    logged specs.  The returned WAL stays attached to the engine in
+    append mode, so post-recovery execution extends the same log.
+    """
+    from repro.api import ProgramSpec, make_scheduler
+    from repro.core.nests import PathNest
+    from repro.engine.runtime import Engine
+
+    wal = EngineWal(directory, snapshot_every=snapshot_every)
+    records = list(wal.log.records())
+    offsets = list(wal.log.offsets)
+    if not records:
+        raise RecoveryError(f"write-ahead log in {directory!r} is empty")
+    genesis = records[0]
+    if genesis.get("t") != "genesis":
+        raise RecoveryError(
+            f"log does not start with a genesis record (got "
+            f"{genesis.get('t')!r})"
+        )
+    adds = [r for r in records if r.get("t") == "add"]
+
+    # -- the workload ---------------------------------------------------
+    table = {p.name: p for p in (programs or ())}
+    specs: dict[str, dict] = dict(genesis.get("specs", {}))
+    for add in adds:
+        specs[add["name"]] = add["spec"]
+    for name, spec in specs.items():
+        if name not in table:
+            table[name] = ProgramSpec.from_dict(spec).compile()
+    arrivals = {name: arrival for name, arrival in genesis["programs"]}
+    for add in adds:
+        arrivals[add["name"]] = add["arrival"]
+    missing = [name for name in arrivals if name not in table]
+    if missing:
+        raise RecoveryError(
+            f"no program source for {sorted(missing)}; pass programs= "
+            f"for generator workloads"
+        )
+    ordered = [table[name] for name, _ in genesis["programs"]]
+    ordered += [table[add["name"]] for add in adds]
+
+    # -- scheduler ------------------------------------------------------
+    if nest is None:
+        nest = PathNest(genesis.get("meta", {}).get("nest_depth", 1))
+        for name, _ in genesis["programs"]:
+            if name in genesis.get("specs", {}):
+                nest.add(
+                    name, tuple(genesis["specs"][name].get("path", ()))
+                )
+        for add in adds:
+            nest.add(add["name"], tuple(add["spec"].get("path", ())))
+    if scheduler is None:
+        scheduler = make_scheduler(genesis["scheduler"], nest)
+
+    engine = Engine(
+        ordered,
+        dict(genesis["initial"]),
+        scheduler,
+        seed=genesis["seed"],
+        arrivals=arrivals,
+        max_ticks=genesis["max_ticks"],
+        stall_limit=genesis["stall_limit"],
+        backoff=genesis["backoff"],
+        recovery=genesis["recovery"],
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        wal=wal,
+    )
+
+    # -- snapshot -------------------------------------------------------
+    snapshot_tick = None
+    suffix_from = 1  # skip genesis
+    if use_snapshot:
+        snap = load_latest_snapshot(
+            directory, max_wal_offset=wal.log.tell()
+        )
+        if snap is not None:
+            engine.restore_state(snap["state"])
+            wal.note_snapshot_tick(snap["tick"])
+            snapshot_tick = snap["tick"]
+            suffix_from = len(records)
+            for i, off in enumerate(offsets):
+                if off >= snap["wal_offset"]:
+                    suffix_from = i
+                    break
+    # Entities declared by ingests the restored state does not cover
+    # (all of them when replaying from genesis — declare is idempotent
+    # and order-faithful to the live ingest path).
+    for i, record in enumerate(records):
+        if record.get("t") == "add" and (
+            snapshot_tick is None or offsets[i] >= snap["wal_offset"]
+        ):
+            for entity, value in record["entities"]:
+                engine.store.declare(entity, value)
+
+    # -- replay ---------------------------------------------------------
+    suffix = records[suffix_from:]
+    horizon = snapshot_tick or 0
+    for record in suffix:
+        if record.get("t") in DECISION_TYPES:
+            horizon = max(horizon, record["tick"])
+    wal.begin_verify(suffix)
+    if horizon > engine.tick:
+        engine.advance(until_tick=horizon)
+    wal.finish_verify()
+    return RecoveryReport(
+        engine=engine,
+        wal=wal,
+        nest=nest,
+        scheduler=scheduler,
+        genesis=genesis,
+        adds=adds,
+        horizon=horizon,
+        snapshot_tick=snapshot_tick,
+        truncated=wal.log.truncated,
+        records=len(records),
+        replayed=wal.verified,
+    )

@@ -1,0 +1,302 @@
+"""Framed, checksummed, append-only write-ahead log.
+
+Record format (shared by the engine WAL and the distributed node WALs):
+
+    file   := MAGIC (8 bytes) frame*
+    frame  := u32 payload_length | u32 crc32(payload) | payload
+
+Both integers are little-endian.  A *torn tail* — a frame whose length
+prefix, checksum, or payload bytes are incomplete or corrupt — marks the
+durable end of the log: everything before it is replayed, everything
+from the first bad byte on is truncated.  This is safe because callers
+only acknowledge work after :meth:`LogFile.sync`, so a torn tail can
+only cover unacknowledged work.
+
+The :class:`EngineWal` layered on top records *decisions* (perform,
+commit, abort, undo, restart, rewind, prune) in commit-identity order.
+Because the engine is deterministic, recovery re-executes from genesis
+(or a snapshot) with the WAL in *verify* mode: each decision the engine
+re-derives is checked against the next logged one, and a mismatch is a
+:class:`repro.errors.RecoveryError` rather than a silent fork.  Once the
+logged suffix is consumed the WAL flips to append mode and the engine
+continues writing new history to the same file.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import RecoveryError
+
+__all__ = [
+    "DECISION_TYPES",
+    "EngineWal",
+    "LogFile",
+    "NULL_WAL",
+    "frame_record",
+    "scan_frames",
+]
+
+MAGIC = b"REPROWAL"
+_HEADER = struct.Struct("<II")  # payload length, crc32
+
+#: Record types that are engine *decisions* — re-derived on replay and
+#: verified against the log.  ``genesis`` and ``add`` are inputs, not
+#: decisions: they are consumed up-front by recovery to reconstruct the
+#: workload and are skipped by verify mode.
+DECISION_TYPES = frozenset(
+    {"perform", "commit", "abort", "undo", "restart", "rewind", "prune"}
+)
+INPUT_TYPES = frozenset({"genesis", "add"})
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Length-prefix and checksum one payload."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(buf: bytes) -> tuple[list[bytes], list[int], int, bool]:
+    """Walk ``buf`` (which must start with MAGIC) frame by frame.
+
+    Returns ``(payloads, offsets, valid_end, clean)`` where ``offsets[i]``
+    is the byte offset of frame ``i``'s header, ``valid_end`` is the
+    offset just past the last intact frame, and ``clean`` is False when a
+    torn/corrupt tail was found (and stopped at).
+    """
+    if buf[: len(MAGIC)] != MAGIC:
+        raise RecoveryError("write-ahead log has a bad magic header")
+    payloads: list[bytes] = []
+    offsets: list[int] = []
+    pos = len(MAGIC)
+    end = len(buf)
+    while pos < end:
+        if pos + _HEADER.size > end:
+            return payloads, offsets, pos, False
+        length, crc = _HEADER.unpack_from(buf, pos)
+        start = pos + _HEADER.size
+        if start + length > end:
+            return payloads, offsets, pos, False
+        payload = buf[start : start + length]
+        if zlib.crc32(payload) != crc:
+            return payloads, offsets, pos, False
+        payloads.append(payload)
+        offsets.append(pos)
+        pos = start + length
+    return payloads, offsets, pos, True
+
+
+class LogFile:
+    """One append-only framed log file.
+
+    Opening an existing file scans it, truncates any torn tail, and
+    positions the write cursor at the durable end.  ``append`` returns
+    the offset at which the frame was written, usable as a snapshot's
+    covered-WAL position.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.payloads: list[bytes] = []
+        self.offsets: list[int] = []
+        self.truncated = False
+        self._final_offset = 0
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        if existing:
+            with open(path, "rb") as fh:
+                buf = fh.read()
+            self.payloads, self.offsets, valid_end, clean = scan_frames(buf)
+            self.truncated = not clean
+            self._fh = open(path, "r+b")
+            if not clean:
+                self._fh.truncate(valid_end)
+            self._fh.seek(valid_end)
+        else:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._fh = open(path, "w+b")
+            self._fh.write(MAGIC)
+            self._fh.flush()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def tell(self) -> int:
+        """Current write offset; after ``close`` the final durable one
+        (the health endpoint reads this during a post-shutdown report)."""
+        if self._fh.closed:
+            return self._final_offset
+        return self._fh.tell()
+
+    def append(self, payload: bytes) -> int:
+        offset = self._fh.tell()
+        self._fh.write(frame_record(payload))
+        return offset
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._final_offset = self._fh.tell()
+            self._fh.close()
+
+    def records(self) -> Iterator[Any]:
+        """Decode the payloads scanned at open time."""
+        for payload in self.payloads:
+            yield pickle.loads(payload)
+
+
+def encode_record(record: dict) -> bytes:
+    return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_record(payload: bytes) -> dict:
+    return pickle.loads(payload)
+
+
+class _NullWal:
+    """Disabled WAL: every seam is a cheap attribute check + no-op."""
+
+    enabled = False
+    verifying = False
+
+    def append(self, rtype: str, **fields) -> None:  # pragma: no cover
+        pass
+
+    def maybe_snapshot(self, engine) -> None:  # pragma: no cover
+        pass
+
+    def flush(self) -> None:  # pragma: no cover
+        pass
+
+    def sync(self) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:  # pragma: no cover
+        pass
+
+
+NULL_WAL = _NullWal()
+
+
+class EngineWal:
+    """Decision log + snapshot trigger for one :class:`Engine`.
+
+    In *append* mode every decision record is framed and written.  In
+    *verify* mode (recovery) the pending logged decisions are held in a
+    deque; each decision the re-executing engine reports is compared
+    field-for-field against the next logged one, and the WAL flips to
+    append mode when the deque drains — so post-recovery execution
+    seamlessly extends the same log.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        snapshot_every: int = 0,
+        log_name: str = "engine.wal",
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.snapshot_every = snapshot_every
+        self.log = LogFile(os.path.join(directory, log_name))
+        self._pending: deque[dict] = deque()
+        self.verifying = False
+        self.verified = 0
+        self._last_snap_tick = 0
+
+    # -- recovery-side setup -------------------------------------------
+
+    def begin_verify(self, records: list[dict]) -> None:
+        """Arm verify mode with the logged decision suffix to replay."""
+        self._pending = deque(
+            r for r in records if r.get("t") in DECISION_TYPES
+        )
+        self.verifying = bool(self._pending)
+
+    def finish_verify(self) -> None:
+        if self._pending:
+            nxt = self._pending[0]
+            raise RecoveryError(
+                f"replay ended with {len(self._pending)} logged decision(s) "
+                f"unconsumed; next is {nxt.get('t')!r} at tick "
+                f"{nxt.get('tick')!r}"
+            )
+        self.verifying = False
+
+    def log_genesis(self, **fields) -> None:
+        """Write the genesis record on a *fresh* log; no-op when the log
+        already has history (a restarted service extends its old log)."""
+        if self.log.payloads or self.log.tell() > len(MAGIC):
+            return
+        self.append("genesis", **fields)
+        self.sync()
+
+    # -- the seam -------------------------------------------------------
+
+    def append(self, rtype: str, **fields) -> None:
+        record = {"t": rtype, **fields}
+        if self.verifying:
+            if rtype in INPUT_TYPES:
+                return
+            if not self._pending:
+                raise RecoveryError(
+                    f"replay produced an extra {rtype!r} decision at tick "
+                    f"{fields.get('tick')!r} beyond the logged history"
+                )
+            logged = self._pending.popleft()
+            if logged != record:
+                raise RecoveryError(
+                    "replay diverged from the write-ahead log:\n"
+                    f"  logged:   {logged!r}\n"
+                    f"  replayed: {record!r}"
+                )
+            self.verified += 1
+            if not self._pending:
+                self.verifying = False
+            return
+        self.log.append(encode_record(record))
+
+    def maybe_snapshot(self, engine) -> None:
+        """Write a snapshot when the cadence is due (append mode only)."""
+        if self.verifying or not self.snapshot_every:
+            return
+        if engine.tick - self._last_snap_tick < self.snapshot_every:
+            return
+        from repro.durability.snapshot import write_snapshot
+
+        self.log.flush()
+        write_snapshot(
+            self.directory,
+            tick=engine.tick,
+            wal_offset=self.log.tell(),
+            state=engine.snapshot_state(),
+        )
+        self._last_snap_tick = engine.tick
+
+    def note_snapshot_tick(self, tick: int) -> None:
+        """After restoring from a snapshot, restart the cadence there."""
+        self._last_snap_tick = tick
+
+    def flush(self) -> None:
+        self.log.flush()
+
+    def sync(self) -> None:
+        self.log.sync()
+
+    def close(self) -> None:
+        self.log.close()

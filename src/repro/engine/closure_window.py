@@ -45,6 +45,7 @@ kept."""
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Mapping
 from time import perf_counter
 
@@ -180,6 +181,11 @@ class ClosureWindow:
         self.tracer = NULL_TRACER
         self.clock = lambda: 0
         self.profiler = NULL_PROFILER
+        # Durability seam, wired by Scheduler.attach alongside the
+        # tracer; prunes are logged because they restructure the window.
+        from repro.durability.wal import NULL_WAL
+
+        self.wal = NULL_WAL
 
     # ------------------------------------------------------------------
     # window contents
@@ -644,6 +650,15 @@ class ClosureWindow:
             if u in remaining and v in remaining
         }
         self._invalidate()
+        wal = self.wal
+        if wal.enabled:
+            wal.append(
+                "prune",
+                tick=self.clock(),
+                pruned=sorted(prunable),
+                shortcuts=len(self._shortcut_edges),
+                size=self.size,
+            )
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -653,3 +668,61 @@ class ClosureWindow:
                 shortcuts=len(self._shortcut_edges),
                 size=self.size,
             )
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> bytes:
+        """The window's dynamic state as one pickle blob.
+
+        The incremental caches (live engine, last/cyclic verdicts) are
+        captured *wholesale* rather than rebuilt on restore: a lazy
+        rebuild bumps the closure-cost counters by the rebuild's cost,
+        which would make a recovered run's counter trajectory diverge
+        from the live one.  ``closure_seconds`` is wall time and is the
+        one counter exempted from the replay-identity invariant.
+        """
+        payload = {
+            "steps": {n: list(s) for n, s in self._steps.items()},
+            "cuts": {n: dict(c) for n, c in self._cuts.items()},
+            "access_of": dict(self._access_of),
+            "order": list(self._order),
+            "committed": self._committed,
+            "shortcut_edges": self._shortcut_edges,
+            "commits_since_prune": self._commits_since_prune,
+            "live": self._live,
+            "last_result": self._last_result,
+            "cycle_result": self._cycle_result,
+            "closure_backend": self.closure_backend,
+            "closure_calls": self.closure_calls,
+            "edges_last": self.edges_last,
+            "closure_seconds": self.closure_seconds,
+            "closure_edges_propagated": self.closure_edges_propagated,
+            "closure_word_ops": self.closure_word_ops,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore_state(self, blob: bytes) -> None:
+        payload = pickle.loads(blob)
+        self._steps = payload["steps"]
+        self._cuts = payload["cuts"]
+        self._access_of = payload["access_of"]
+        self._order = payload["order"]
+        self._committed = payload["committed"]
+        self._shortcut_edges = payload["shortcut_edges"]
+        self._commits_since_prune = payload["commits_since_prune"]
+        self._live = payload["live"]
+        self._last_result = payload["last_result"]
+        self._cycle_result = payload["cycle_result"]
+        if self._live is not None:
+            # The unpickled engine carries a *copy* of the nest; future
+            # ingests mutate the window's live nest object, so the
+            # restored engine must observe the same instance.
+            self._live.engine.nest = self.nest
+        self.closure_backend = payload["closure_backend"]
+        self.closure_calls = payload["closure_calls"]
+        self.edges_last = payload["edges_last"]
+        self.closure_seconds = payload["closure_seconds"]
+        self.closure_edges_propagated = payload["closure_edges_propagated"]
+        self.closure_word_ops = payload["closure_word_ops"]

@@ -151,6 +151,34 @@ class LockManager:
             return None
         return [u for u, _ in cycle]
 
+    def snapshot_state(self) -> dict:
+        """Picklable state preserving every iteration order (lock
+        creation order feeds waits-for edge order, which decides cycle
+        identity and hence victim choice)."""
+        return {
+            "locks": [
+                (entity, list(lock.holders.items()), list(lock.waiters))
+                for entity, lock in self._locks.items()
+            ],
+            "owned": [
+                (owner, list(entities))
+                for owner, entities in self._owned.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._locks = {
+            entity: _Lock(dict(holders), [tuple(w) for w in waiters])
+            for entity, holders, waiters in state["locks"]
+        }
+        self._owned = {
+            owner: {entity: None for entity in entities}
+            for owner, entities in state["owned"]
+        }
+        # Dropped, not saved: recomputing "no cycle" from the restored
+        # edge set gives the identical answer.
+        self._acyclic_sig = None
+
     def assert_consistent(self) -> None:
         for entity, lock in self._locks.items():
             modes = set(lock.holders.values())

@@ -25,6 +25,7 @@ cascade bugs cannot silently corrupt experiment results.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import math
@@ -35,6 +36,7 @@ from typing import Any
 
 from repro.core import closure_kernel
 from repro.core.interleaving import InterleavingSpec
+from repro.durability.wal import NULL_WAL
 from repro.core.nests import KNest
 from repro.engine.metrics import Metrics
 from repro.engine.schedulers.base import Action, Decision, Scheduler
@@ -241,12 +243,19 @@ class Engine:
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
+        wal=None,
     ) -> None:
         if recovery not in ("transaction", "segment"):
             raise EngineError(f"unknown recovery unit {recovery!r}")
         self.store = EntityStore(dict(initial_values))
         self.scheduler = scheduler
+        self.seed = seed
         self.rng = random.Random(seed)
+        # The durability seam.  Defaults to the shared null WAL, whose
+        # per-site cost is one attribute load + branch; like the tracer,
+        # logging never consumes ``self.rng``, so WAL-disabled runs are
+        # behaviour-identical to pre-durability builds.
+        self.wal = wal if wal is not None else NULL_WAL
         self.metrics = Metrics()
         # The flight recorder.  Defaults to the shared null tracer, whose
         # per-site cost is one attribute load + branch; emission never
@@ -440,12 +449,18 @@ class Engine:
         :class:`EngineResult`.
         """
         self.scheduler.attach(self)
+        wal = self.wal
         while self._active:
             if until_tick is not None and self.tick >= until_tick:
                 self.metrics.ticks = self.tick
                 if self._mx is not None:
                     self._mx["ticks"].set(self.tick)
                 return False
+            # Snapshot between ticks: the state of tick T is fully
+            # settled (including ``_last_progress``) and no decision of
+            # tick T+1 has been taken yet.
+            if wal.enabled:
+                wal.maybe_snapshot(self)
             self.tick += 1
             if self.tick > self.max_ticks:
                 raise EngineError(
@@ -593,6 +608,19 @@ class Engine:
         self.metrics.steps_performed += 1
         if self._mx is not None:
             self._mx["steps"].inc()
+        wal = self.wal
+        if wal.enabled:
+            wal.append(
+                "perform",
+                tick=self.tick,
+                txn=txn.name,
+                attempt=txn.attempt,
+                step=record.step.index,
+                entity=record.entity,
+                kind=record.kind.value,
+                before=record.value_before,
+                after=record.value_after,
+            )
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -680,6 +708,17 @@ class Engine:
                 mx["commits"].inc()
                 mx["latency"].observe(self.tick - txn.arrival_tick)
                 mx["wait_hist"].observe(txn.waits)
+            # Commit identity lives in the log: the commit record lands
+            # before ``on_commit`` so any prune it triggers follows it.
+            wal = self.wal
+            if wal.enabled:
+                wal.append(
+                    "commit",
+                    tick=self.tick,
+                    txn=txn.name,
+                    attempt=txn.attempt,
+                    result=txn.live.result,
+                )
             tr = self.tracer
             if tr.enabled:
                 tr.emit(
@@ -806,6 +845,16 @@ class Engine:
                         f"({reason})"
                     )
         self.metrics.record_cascade(len(cascade))
+        wal = self.wal
+        if wal.enabled:
+            wal.append(
+                "abort",
+                tick=self.tick,
+                victims=sorted(name for name, _ in seeds),
+                cascade=sorted(name for name, _ in cascade - seeds),
+                reason=reason,
+                unit="transaction",
+            )
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -826,6 +875,16 @@ class Engine:
                 self.metrics.steps_undone += 1
                 if self._mx is not None:
                     self._mx["steps_undone"].inc()
+                if wal.enabled:
+                    wal.append(
+                        "undo",
+                        tick=self.tick,
+                        txn=entry.key[0],
+                        attempt=entry.key[1],
+                        step=entry.record.step.index,
+                        entity=entry.record.entity,
+                        restored=entry.record.value_before,
+                    )
                 if tr.enabled:
                     tr.emit(
                         "step.undo",
@@ -861,6 +920,16 @@ class Engine:
             if self._mx is not None:
                 self._mx["aborts"].inc()
                 self._mx["restarts"].inc()
+            # After the rng draw: the wake tick is the decision being
+            # made durable (and verified on replay).
+            if wal.enabled:
+                wal.append(
+                    "restart",
+                    tick=self.tick,
+                    txn=name,
+                    attempt=txn.attempt,
+                    wake=txn.wake_tick,
+                )
             if tr.enabled:
                 tr.emit(
                     "txn.restart",
@@ -967,6 +1036,16 @@ class Engine:
                         tainter = entry.key
 
         self.metrics.record_cascade(len(invalid))
+        wal = self.wal
+        if wal.enabled:
+            wal.append(
+                "abort",
+                tick=self.tick,
+                victims=sorted(name for name, _ in seed_keys),
+                cascade=sorted(name for name, _ in set(invalid) - seed_keys),
+                reason=reason,
+                unit="segment",
+            )
         if tr.enabled:
             tr.emit(
                 "txn.abort",
@@ -993,6 +1072,16 @@ class Engine:
                 self.metrics.steps_undone += 1
                 if self._mx is not None:
                     self._mx["steps_undone"].inc()
+                if wal.enabled:
+                    wal.append(
+                        "undo",
+                        tick=self.tick,
+                        txn=entry.key[0],
+                        attempt=entry.key[1],
+                        step=entry.record.step.index,
+                        entity=entry.record.entity,
+                        restored=entry.record.value_before,
+                    )
                 if tr.enabled:
                     tr.emit(
                         "step.undo",
@@ -1037,6 +1126,23 @@ class Engine:
             txn.wake_tick = self.tick + self.rng.randint(
                 1, self.backoff * min(txn.rollbacks, 64)
             )
+            if wal.enabled:
+                if keep == 0:
+                    wal.append(
+                        "restart",
+                        tick=self.tick,
+                        txn=name,
+                        attempt=txn.attempt,
+                        wake=txn.wake_tick,
+                    )
+                else:
+                    wal.append(
+                        "rewind",
+                        tick=self.tick,
+                        txn=name,
+                        keep=keep,
+                        wake=txn.wake_tick,
+                    )
             if tr.enabled:
                 if keep == 0:
                     tr.emit(
@@ -1076,6 +1182,139 @@ class Engine:
                 last_writer[entry.record.entity] = entry.key
                 if entry.key not in self._committed_keys:
                     self._last_writer[entry.record.entity] = entry.key
+
+    # ------------------------------------------------------------------
+    # durability snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """A picklable deep copy of the full dynamic state.
+
+        Restoring it onto a freshly constructed engine with the *same*
+        configuration (programs, scheduler kind, seed, limits) yields an
+        engine that continues bit-identically to this one — including
+        the rng stream, dict iteration orders that feed deterministic
+        decisions, and the scheduler/closure-window internals.  Programs
+        themselves (generator functions) are not serialised: the live
+        attempts are rebuilt on restore via their ``results_log`` replay
+        tapes.
+        """
+        txns = [
+            {
+                "name": txn.name,
+                "arrival_tick": txn.arrival_tick,
+                "attempt": txn.attempt,
+                "rollbacks": txn.rollbacks,
+                "attempt_start_tick": txn.attempt_start_tick,
+                "wake_tick": txn.wake_tick,
+                "committed": txn.committed,
+                "commit_tick": txn.commit_tick,
+                "deps": sorted(txn.deps),
+                "waits": txn.waits,
+                "results_log": list(txn.live.results_log),
+                "finished": txn.live.finished,
+            }
+            for txn in self.txns.values()
+        ]
+        state = {
+            "tick": self.tick,
+            "seq": self._seq,
+            "timestamp": self._timestamp,
+            "last_progress": self._last_progress,
+            "rng": self.rng.getstate(),
+            "schedule": list(self._schedule),
+            "metrics": self.metrics,
+            "store": self.store.snapshot_state(),
+            "txns": txns,
+            "active": list(self._active),
+            "live_log": [
+                (e.seq, e.key, e.record) for e in self._live_log
+            ],
+            "committed_log": [
+                (e.seq, e.key, e.record) for e in self._committed_log
+            ],
+            "committed_access": dict(self._committed_access),
+            "last_writer": list(self._last_writer.items()),
+            "committed_keys": sorted(self._committed_keys),
+            "commit_order": list(self._commit_order),
+            "results": dict(self._results),
+            "cut_levels": {
+                name: dict(cuts) for name, cuts in self._cut_levels.items()
+            },
+            "scheduler": self.scheduler.snapshot_state(),
+        }
+        # Deep-copied so the snapshot cannot alias state the engine will
+        # keep mutating (records are shared immutably within the copy).
+        return copy.deepcopy(state)
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`snapshot_state` dict onto this freshly
+        constructed engine (same programs and configuration)."""
+        state = copy.deepcopy(state)
+        self.tick = state["tick"]
+        self._seq = state["seq"]
+        self._timestamp = state["timestamp"]
+        self._last_progress = state["last_progress"]
+        self.rng.setstate(state["rng"])
+        self._schedule = list(state["schedule"])
+        self.metrics = state["metrics"]
+        self.store.restore_state(state["store"])
+        known = dict(self.txns)
+        self.txns = {}
+        for saved in state["txns"]:
+            base = known.get(saved["name"])
+            if base is None:
+                raise EngineError(
+                    f"snapshot names unknown transaction {saved['name']!r}"
+                )
+            live = _LiveTransaction(base.program)
+            if saved["results_log"]:
+                live.fast_forward(saved["results_log"])
+            txn = TxnState(
+                program=base.program,
+                arrival_tick=saved["arrival_tick"],
+                live=live,
+                attempt=saved["attempt"],
+                rollbacks=saved["rollbacks"],
+                attempt_start_tick=saved["attempt_start_tick"],
+                wake_tick=saved["wake_tick"],
+                committed=saved["committed"],
+                commit_tick=saved["commit_tick"],
+                deps=set(map(tuple, saved["deps"])),
+                waits=saved["waits"],
+            )
+            self.txns[saved["name"]] = txn
+        self._active = {name: self.txns[name] for name in state["active"]}
+        # Programs registered after the snapshot was taken (open-system
+        # ingest) keep their fresh construction-time state, appended in
+        # registration order — exactly where a live engine would hold
+        # them.
+        for name, base in known.items():
+            if name not in self.txns:
+                self.txns[name] = base
+                self._active[name] = base
+        self._live_log = [
+            _LogEntry(seq, tuple(key), record)
+            for seq, key, record in state["live_log"]
+        ]
+        self._committed_log = [
+            _LogEntry(seq, tuple(key), record)
+            for seq, key, record in state["committed_log"]
+        ]
+        self._committed_access = {
+            entity: (seq, tuple(key))
+            for entity, (seq, key) in state["committed_access"].items()
+        }
+        self._last_writer = {
+            entity: tuple(key) for entity, key in state["last_writer"]
+        }
+        self._committed_keys = set(map(tuple, state["committed_keys"]))
+        self._commit_order = list(state["commit_order"])
+        self._results = dict(state["results"])
+        self._cut_levels = {
+            name: dict(cuts) for name, cuts in state["cut_levels"].items()
+        }
+        self.scheduler.restore_state(state["scheduler"])
 
     # ------------------------------------------------------------------
     # result assembly

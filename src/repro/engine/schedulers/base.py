@@ -100,7 +100,23 @@ class Scheduler:
             window.tracer = engine.tracer
             window.clock = lambda: engine.tick
             window.profiler = engine.profiler
+            window.wal = engine.wal
         self.bind_metrics(engine.registry)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable dynamic state for engine snapshots.  The base
+        scheduler is stateless; subclasses with waits-for graphs, locks
+        or closure windows override (iteration orders that feed victim
+        choice must round-trip exactly)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` dict onto a freshly
+        constructed scheduler of the same kind."""
 
     def bind_metrics(self, registry) -> None:
         """Called from :meth:`attach` so schedulers can pre-bind their

@@ -180,3 +180,18 @@ class MLADetectScheduler(Scheduler):
     def on_abort(self, txn) -> None:
         self._parked.pop(txn.name, None)
         self.window.drop(txn.name)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "window": self.window.snapshot_state(),
+            "parked": {
+                name: list(waits) for name, waits in self._parked.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.window.restore_state(state["window"])
+        self._parked = {
+            name: [tuple(w) for w in waits]
+            for name, waits in state["parked"].items()
+        }

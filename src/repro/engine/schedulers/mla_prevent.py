@@ -264,3 +264,26 @@ class MLAPreventScheduler(Scheduler):
             self.locks.release_all(txn.name)
         self._waiting_on.pop(txn.name, None)
         self.window.drop(txn.name)
+
+    def snapshot_state(self) -> dict:
+        # ``_waiting_on`` insertion order feeds ``_wait_cycle``'s edge
+        # order (victim identity); keep it as an ordered list.
+        return {
+            "window": self.window.snapshot_state(),
+            "waiting_on": [
+                (waiter, sorted(blockers))
+                for waiter, blockers in self._waiting_on.items()
+            ],
+            "locks": (
+                self.locks.snapshot_state() if self.locks is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.window.restore_state(state["window"])
+        self._waiting_on = {
+            waiter: set(blockers)
+            for waiter, blockers in state["waiting_on"]
+        }
+        if self.locks is not None and state["locks"] is not None:
+            self.locks.restore_state(state["locks"])

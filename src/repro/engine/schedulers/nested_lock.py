@@ -222,3 +222,42 @@ class NestedLockScheduler(Scheduler):
         self._release(txn.name)
         if self.window is not None:
             self.window.drop(txn.name)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "locks": [
+                (
+                    entity,
+                    [
+                        (name, hold.last_access_step)
+                        for name, hold in lock.holders.items()
+                    ],
+                )
+                for entity, lock in self._locks.items()
+            ],
+            "waiting_on": [
+                (waiter, sorted(blockers))
+                for waiter, blockers in self._waiting_on.items()
+            ],
+            "certification_failures": self.certification_failures,
+            "window": (
+                self.window.snapshot_state()
+                if self.window is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._locks = {
+            entity: _EntityLock(
+                {name: _Hold(step) for name, step in holders}
+            )
+            for entity, holders in state["locks"]
+        }
+        self._waiting_on = {
+            waiter: set(blockers)
+            for waiter, blockers in state["waiting_on"]
+        }
+        self.certification_failures = state["certification_failures"]
+        if self.window is not None and state["window"] is not None:
+            self.window.restore_state(state["window"])

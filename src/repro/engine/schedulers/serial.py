@@ -42,3 +42,9 @@ class SerialScheduler(Scheduler):
     def on_abort(self, txn) -> None:
         if self._holder == txn.name:
             self._holder = None
+
+    def snapshot_state(self) -> dict:
+        return {"holder": self._holder}
+
+    def restore_state(self, state: dict) -> None:
+        self._holder = state["holder"]

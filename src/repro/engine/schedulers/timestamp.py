@@ -95,3 +95,19 @@ class TimestampScheduler(Scheduler):
 
     def may_commit(self, txn) -> Decision:
         return Decision.perform()
+
+    def snapshot_state(self) -> dict:
+        return {
+            "marks": [
+                (entity, m.read_ts, m.write_ts)
+                for entity, m in self._marks.items()
+            ],
+            "ts": dict(self._ts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._marks = {
+            entity: _Marks(read_ts, write_ts)
+            for entity, read_ts, write_ts in state["marks"]
+        }
+        self._ts = dict(state["ts"])

@@ -114,3 +114,9 @@ class TwoPhaseLockingScheduler(Scheduler):
 
     def on_abort(self, txn) -> None:
         self._release(txn)
+
+    def snapshot_state(self) -> dict:
+        return {"locks": self.locks.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.locks.restore_state(state["locks"])

@@ -54,3 +54,8 @@ class EngineError(ReproError):
 
 class NetworkError(ReproError):
     """Misuse of the simulated network in the distributed substrate."""
+
+
+class RecoveryError(ReproError):
+    """Durability-layer failure: a corrupt write-ahead log, an unusable
+    snapshot, or a replay that diverges from the logged decisions."""

@@ -106,6 +106,24 @@ class EntityStore:
         self._require(entity)
         self._entities[entity].value = value
 
+    def snapshot_state(self) -> dict:
+        """Full picklable state (values *and* histories) for durability
+        snapshots; insertion order of ``_entities`` is preserved."""
+        return {
+            "initial": dict(self._initial),
+            "entities": [
+                (name, state.value, list(state.history))
+                for name, state in self._entities.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._initial = dict(state["initial"])
+        self._entities = {
+            name: _EntityState(value, list(history))
+            for name, value, history in state["entities"]
+        }
+
     def reset(self) -> None:
         """Back to initial values, clearing history."""
         self._entities = {

@@ -40,6 +40,7 @@ from repro.api import (
     make_scheduler,
 )
 from repro.core.nests import PathNest
+from repro.durability.wal import NULL_WAL
 from repro.engine.runtime import Engine, EngineResult
 from repro.errors import ReproError
 from repro.obs import (
@@ -75,6 +76,14 @@ class ServiceConfig:
     #: ring is bounded so a soak cannot grow it without limit.
     trace_capacity: int = 4096
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Directory for the durability WAL (+ snapshots).  ``None`` runs
+    #: the service purely in memory; with a directory, a restarted
+    #: service recovers its engine by deterministic replay and answers
+    #: resubmitted idempotency keys from the log instead of re-running.
+    wal_dir: str | None = None
+    #: Snapshot cadence in ticks (0 = never; recovery replays the whole
+    #: log from genesis).
+    wal_snapshot_every: int = 0
 
 
 class TransactionService:
@@ -91,18 +100,15 @@ class TransactionService:
         self.registry = MetricsRegistry()
         self.profiler = PhaseProfiler()
         self.tracer = RingTracer(capacity=config.trace_capacity)
-        self.nest = PathNest(config.nest_depth)
-        self.engine = Engine(
-            [],
-            {},
-            make_scheduler(config.scheduler, self.nest),
-            seed=config.seed,
-            recovery=config.recovery,
-            max_ticks=1 << 62,
-            tracer=self.tracer,
-            registry=self.registry,
-            profiler=self.profiler,
-        )
+        self.wal = NULL_WAL
+        #: idempotency key -> name, rebuilt from the log at recovery;
+        #: resubmissions of these keys are answered from the replayed
+        #: engine, never re-executed.
+        self._recovered_keys: dict[str, str] = {}
+        #: name -> arrival tick, recorded at ingest for the differential.
+        self.arrivals: dict[str, int] = {}
+        self._resolved = 0  # commits already folded into envelopes
+        self.nest, self.engine = self._boot(config)
         self.admission = AdmissionController(
             config.admission, config.nest_depth
         )
@@ -112,11 +118,78 @@ class TransactionService:
         #: idempotency key -> future (kept after resolution, so a
         #: resubmission is answered from the first run, never re-run).
         self._by_key: dict[str, asyncio.Future] = {}
-        #: name -> arrival tick, recorded at ingest for the differential.
-        self.arrivals: dict[str, int] = {}
-        self._resolved = 0  # commits already folded into envelopes
         self._pump_task: asyncio.Task | None = None
         self._mx = self._bind_metrics()
+
+    def _boot(self, config: ServiceConfig):
+        """Build the (nest, engine) pair — fresh, or recovered from the
+        configured WAL directory when it already holds history."""
+        if config.wal_dir is not None:
+            from repro.durability.wal import EngineWal
+
+            wal = EngineWal(
+                config.wal_dir,
+                snapshot_every=config.wal_snapshot_every,
+            )
+            if wal.log.payloads:
+                wal.close()
+                return self._recover(config)
+            self.wal = wal
+        nest = PathNest(config.nest_depth)
+        engine = Engine(
+            [],
+            {},
+            make_scheduler(config.scheduler, nest),
+            seed=config.seed,
+            recovery=config.recovery,
+            max_ticks=1 << 62,
+            tracer=self.tracer,
+            registry=self.registry,
+            profiler=self.profiler,
+            wal=self.wal if self.wal.enabled else None,
+        )
+        if self.wal.enabled:
+            self.wal.log_genesis(
+                seed=config.seed,
+                scheduler=config.scheduler,
+                recovery=config.recovery,
+                stall_limit=engine.stall_limit,
+                backoff=engine.backoff,
+                max_ticks=1 << 62,
+                initial={},
+                programs=[],
+                specs={},
+                meta={
+                    "nest_depth": config.nest_depth,
+                    "initial_value": config.initial_value,
+                },
+            )
+        return nest, engine
+
+    def _recover(self, config: ServiceConfig):
+        """Rebuild the engine by deterministic replay of the WAL left by
+        a previous incarnation; every ingest is an ``add`` record, so
+        the whole workload is reconstructible from the log alone."""
+        from repro.durability import recover
+
+        report = recover(
+            config.wal_dir,
+            snapshot_every=config.wal_snapshot_every,
+            tracer=self.tracer,
+            registry=self.registry,
+            profiler=self.profiler,
+        )
+        self.wal = report.wal
+        self.arrivals = {
+            add["name"]: add["arrival"] for add in report.adds
+        }
+        self._recovered_keys = {
+            add["key"]: add["name"]
+            for add in report.adds
+            if "key" in add
+        }
+        self._resolved = len(report.engine.commit_order)
+        return report.nest, report.engine
 
     def _bind_metrics(self) -> dict[str, Any]:
         def counter(name: str, help: str, **labels):
@@ -160,6 +233,24 @@ class TransactionService:
         in-flight window is full.
         """
         key = submission.idempotency_key
+        recovered = self._recovered_keys.get(key)
+        if recovered is not None and key not in self._by_key:
+            # Answered from the log: the replayed engine already holds
+            # this submission's history.  Committed work resolves
+            # immediately; in-flight work re-attaches to the replayed
+            # transaction and resumes — it is never re-executed.
+            future: asyncio.Future = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._by_key[key] = future
+            order = self.engine.commit_order
+            if recovered in order:
+                future.set_result(
+                    self._envelope_for(recovered, order.index(recovered))
+                )
+            else:
+                self._pending[recovered] = future
+                self._ensure_pump()
         existing = self._by_key.get(key)
         if existing is not None:
             self._mx["duplicate"].inc()
@@ -214,6 +305,18 @@ class TransactionService:
         self.nest.add(spec.name, spec.path)
         state = self.engine.add_program(spec.compile())
         self.arrivals[spec.name] = state.arrival_tick
+        if self.wal.enabled:
+            self.wal.append(
+                "add",
+                name=spec.name,
+                arrival=state.arrival_tick,
+                key=submission.idempotency_key,
+                spec=spec.to_dict(),
+                entities=[
+                    (entity, self.config.initial_value)
+                    for entity in sorted(spec.entities)
+                ],
+            )
 
     async def _pump(self) -> None:
         """Drain the queue into the engine and tick it until idle."""
@@ -231,6 +334,8 @@ class TransactionService:
                 until_tick=self.engine.tick + self.config.tick_batch
             )
             self._mx["batches"].inc()
+            if self.wal.enabled:
+                self.wal.flush()
             self._resolve_commits()
             # Yield so connection handlers can enqueue and respond.
             await asyncio.sleep(0)
@@ -270,7 +375,7 @@ class TransactionService:
     # ------------------------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        report = {
             "status": "serving",
             "scheduler": self.config.scheduler,
             "tick": self.engine.tick,
@@ -280,6 +385,13 @@ class TransactionService:
             "committed": len(self.engine.commit_order),
             "admission": self.admission.counters(),
         }
+        if self.wal.enabled:
+            report["wal"] = {
+                "directory": self.wal.directory,
+                "offset": self.wal.log.tell(),
+                "recovered": len(self._recovered_keys),
+            }
+        return report
 
     def metrics_snapshot(self) -> MetricsRegistry:
         return live_registry_snapshot(self.registry, self.profiler)
@@ -293,10 +405,14 @@ class TransactionService:
         )
 
     async def drain(self) -> dict:
-        """Wait until every admitted submission has resolved."""
+        """Wait until every admitted submission has resolved.  With a
+        WAL, the log is fsynced before replying — the drain ack promises
+        the drained history survives a crash."""
         while self._pending or self._queue.qsize():
             self._ensure_pump()
             await asyncio.sleep(0)
+        if self.wal.enabled:
+            self.wal.sync()
         return self.health()
 
     def result(self) -> EngineResult:
@@ -515,4 +631,6 @@ async def serve(
     if ready is not None and not ready.done():
         ready.set_result(server.port)
     await server.serve_until_shutdown()
+    service.wal.sync()
+    service.wal.close()
     return service

@@ -1,0 +1,160 @@
+"""Minimized regressions for divergences the crash-point fuzzer
+surfaced while this subsystem was built.  Each test pins the exact
+failure shape so the bug class cannot return:
+
+1. ``Engine.restore_state`` replaced the transaction table wholesale,
+   silently dropping programs registered *after* the snapshot was taken
+   (the open-system service path) — recovery then raised "unknown
+   transaction" or replayed a shorter history.
+2. ``recover()`` rebuilt the nest from ``add`` records only, omitting
+   the paths of genesis-spec programs — closed-system replay then ran
+   under a different hierarchy, changing conflict levels and forking
+   the history at the first cross-family conflict.
+3. The closure window's live caches drifted on snapshot restore when
+   they were rebuilt instead of carried: closure counters (calls,
+   propagated edges, word ops) diverged from the uncrashed engine even
+   though the committed history matched.  The caches are pickled
+   wholesale now; this test holds the counters bit-equal.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.api import ProgramSpec, Submission, make_scheduler
+from repro.core.nests import PathNest
+from repro.durability import recover
+from repro.durability.fuzz import default_specs, run_reference
+from repro.durability.wal import EngineWal
+from repro.engine.runtime import Engine
+from repro.service import ServiceConfig, TransactionService
+
+
+def test_restore_state_keeps_post_snapshot_programs(tmp_path):
+    """Regression 1: a snapshot taken at tick T, then a program added at
+    T+k, then a crash — recovery must re-register the late program, not
+    lose it."""
+    import asyncio
+
+    d = str(tmp_path)
+
+    def spec(i):
+        return ProgramSpec(f"p{i}", (("add", "x", i), ("read", "x")), ("a",))
+
+    async def run_service():
+        svc = TransactionService(ServiceConfig(
+            scheduler="2pl", nest_depth=1, wal_dir=d, wal_snapshot_every=2,
+        ))
+        # First wave commits and a snapshot lands beyond it ...
+        for i in range(3):
+            await svc.submit(Submission(program=spec(i)))
+        await svc.drain()
+        # ... then a late registration arrives after the snapshot.
+        await svc.submit(Submission(program=spec(7)))
+        await svc.drain()
+        svc.wal.sync()
+        svc.wal.close()
+        return svc.engine.commit_order[:]
+
+    order = asyncio.run(run_service())
+    report = recover(d)
+    assert report.snapshot_tick is not None  # the snapshot path ran
+    assert "p7" in report.engine.txns  # the late program survived
+    assert report.engine.commit_order == order
+
+
+def test_recover_rebuilds_nest_from_genesis_specs(tmp_path):
+    """Regression 2: genesis-spec programs must contribute their paths
+    to the reconstructed nest.  The mla schedulers conflict by level, so
+    a flattened nest forks the replay — caught as a WAL divergence."""
+    specs = [
+        ProgramSpec("fam_a1", (("add", "x", 1), ("bp", 2), ("read", "y")),
+                    ("fam_a",)),
+        ProgramSpec("fam_a2", (("read", "x"), ("add", "y", 2)), ("fam_a",)),
+        ProgramSpec("fam_b1", (("set", "x", 5), ("read", "y")), ("fam_b",)),
+    ]
+    d = str(tmp_path)
+    _, result = run_reference(d, specs, scheduler="mla-detect", seed=4)
+    # No caller-supplied nest: recover() must rebuild it from the log.
+    report = recover(d)
+    recovered = report.engine.run(until_tick=report.engine.tick)
+    assert recovered.history_digest() == result.history_digest()
+    # The nest really carries the genesis paths: a same-family pair
+    # shares a longer prefix (higher level) than a cross-family pair.
+    assert report.nest.level("fam_a1", "fam_a2") > \
+        report.nest.level("fam_a1", "fam_b1")
+
+
+def test_snapshot_restore_preserves_closure_counters(tmp_path):
+    """Regression 3: closure bookkeeping (calls, propagated edges, word
+    ops — everything except wall-clock seconds) must be bit-equal after
+    a snapshot-based recovery."""
+    d = str(tmp_path)
+    engine, _ = run_reference(
+        d, default_specs(seed=6), scheduler="mla-detect", seed=6,
+        snapshot_every=8,
+    )
+    report = recover(d)
+    assert report.snapshot_tick is not None
+    live = dict(engine.metrics.summary())
+    replayed = dict(report.engine.metrics.summary())
+    live.pop("closure_seconds")
+    replayed.pop("closure_seconds")
+    assert replayed == live
+
+
+def test_closure_window_restore_repoints_nest(tmp_path):
+    """The unpickled window's live closure engine must alias the
+    scheduler's own nest object, not a stale pickled copy: transactions
+    registered after restore are invisible to a stale copy."""
+    nest = PathNest(1)
+    nest.add("a", ("fam",))
+    scheduler = make_scheduler("mla-detect", nest)
+    engine = Engine(
+        [ProgramSpec("a", (("add", "x", 1),), ("fam",)).compile()],
+        {"x": 0},
+        scheduler,
+        seed=0,
+    )
+    engine.run()
+    blob = scheduler.snapshot_state()
+    nest2 = PathNest(1)
+    nest2.add("a", ("fam",))
+    scheduler2 = make_scheduler("mla-detect", nest2)
+    engine2 = Engine(
+        [ProgramSpec("a", (("add", "x", 1),), ("fam",)).compile()],
+        {"x": 0},
+        scheduler2,
+        seed=0,
+    )
+    scheduler2.restore_state(pickle.loads(pickle.dumps(blob)))
+    if scheduler2.window._live is not None:
+        assert scheduler2.window._live.engine.nest is nest2
+    assert engine2 is not None  # scheduler is attached and consistent
+
+
+def test_add_record_entities_redeclared_after_snapshot(tmp_path):
+    """Entities first referenced by post-snapshot submissions must be
+    re-declared on recovery (the snapshot cannot know them)."""
+    import asyncio
+
+    d = str(tmp_path)
+
+    async def run_service():
+        svc = TransactionService(ServiceConfig(
+            scheduler="2pl", nest_depth=0, wal_dir=d, wal_snapshot_every=2,
+        ))
+        await svc.submit(Submission(program=ProgramSpec(
+            "early", (("add", "x", 1),))))
+        await svc.drain()
+        await svc.submit(Submission(program=ProgramSpec(
+            "late", (("add", "fresh_entity", 5), ("read", "x")))))
+        await svc.drain()
+        svc.wal.sync()
+        svc.wal.close()
+        return dict(svc.engine.store.snapshot())
+
+    store = asyncio.run(run_service())
+    report = recover(d)
+    assert report.engine.store.snapshot() == store
+    assert "fresh_entity" in dict(report.engine.store.snapshot())
