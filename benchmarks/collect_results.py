@@ -100,6 +100,7 @@ ORDER = [
     "e14_fault_sweep",
     "e15_soak",
     "e16_crash_fuzz",
+    "e17_exhaustive_audit",
 ]
 
 HEADER = """# EXPERIMENTS — measured results
@@ -135,6 +136,7 @@ Regenerate everything with::
 | Nested-transaction implementation efficiency (§7, open) | — (open question) | breakpoint-released locking matches prevention at lock-table cost; provably incomplete (counterexample); certified hybrid sound (E13) | answered |
 | Migrating transactions on a *real* (faulty) network (§6, implicit) | — (§6 assumes perfect delivery) | at-least-once protocol masks 20% drop/dup/reorder plus node crashes: 100% checker acceptance, committed results bitwise equal to the fault-free run (E14) | extended |
 | Single-site durability (§1's long-lived transactions must survive the scheduler's own process) | — (paper assumes a stable site) | engine WAL + snapshots + deterministic replay: hundreds of seeded crash points (incl. torn tails) all recover bitwise-identical and continue to the reference history (E16) | extended |
+| Black-box checkability of histories (§3's breakpoint-derivable correctness needs only the history) | — (paper states the definitions; checking is implicit in Theorem 2) | audit plane: streamed captures re-imported black-box and classified per transaction (multilevel / serializable / SI with witnesses); bounded-exhaustive explorer proves every schedule of the small configs correctable under all five controls, with the unguarded control caught; online monitor <5% of bare wall at E1 scale, disabled seam ~ns/commit (E17) | extended |
 
 ---
 """
@@ -462,6 +464,7 @@ def run_quick(
     import bench_e14_fault_sweep as e14
     import bench_e15_soak as e15
     import bench_e16_crash_fuzz as e16
+    import bench_e17_exhaustive_audit as e17
     from repro.core import check_correctability
 
     timings: dict[str, dict[str, float]] = {
@@ -528,6 +531,17 @@ def run_quick(
         str(durability_summary["fuzz"]["cuts"]):
             (time.perf_counter() - start) * 1000,
     }
+    # E17 smoke: the audit plane — tiny configurations exhaustively
+    # proven under every scheduler (the unguarded control caught), the
+    # large canned pairs swept under a node cap (completeness warn-only
+    # here; the full bench proves it), plus monitor overhead and the
+    # capture → import → classify round-trip per scheduler.
+    start = time.perf_counter()
+    audit_summary = e17.smoke()
+    timings["e17_audit_smoke"] = {
+        str(len(audit_summary["proofs"]) + len(audit_summary["capped"])):
+            (time.perf_counter() - start) * 1000,
+    }
     baselines = seed_baselines()
     speedups = {
         f"{key}_{size}": round(base / timings[key][size], 2)
@@ -556,11 +570,16 @@ def run_quick(
             "e16": "durability smoke (seeded crash-point fuzz incl. torn "
                    "tails: recover-and-continue asserted; recovery time "
                    "and WAL overhead recorded, overhead warn-only)",
+            "e17": "audit smoke (tiny configs exhaustively proven under "
+                   "every scheduler + unguarded control caught; capped "
+                   "sweep of the canned pairs warn-only; monitor "
+                   "overhead and capture→import→classify asserted)",
         },
         "trace": trace_smoke(),
         "obs": obs_smoke(),
         "service": service_summary,
         "durability": durability_summary,
+        "audit": audit_summary,
         "closure_backend_comparison": closure_backend_comparison(e1),
         "timings_ms": {
             key: {size: round(ms, 2) for size, ms in sizes.items()}
@@ -614,6 +633,10 @@ def write_quick(path: str = QUICK_TARGET) -> dict:
             # Likewise the full E16 sweep (bench_e16_crash_fuzz.py).
             if "e16_durability" in old:
                 data["e16_durability"] = old["e16_durability"]
+            # And the full E17 exhaustive-audit sweep
+            # (bench_e17_exhaustive_audit.py).
+            if "e17_exhaustive" in old:
+                data["e17_exhaustive"] = old["e17_exhaustive"]
             history = [
                 entry for entry in old.get("history", [])
                 if isinstance(entry, dict)

@@ -1,0 +1,492 @@
+"""Bounded exhaustive interleaving exploration (the DPOR-flavoured audit).
+
+The randomized differentials sample schedules; this module *enumerates*
+them.  For a small configuration (a few declarative programs and a
+scheduler) it walks every reachable scheduling decision of the real
+:class:`~repro.engine.runtime.Engine` — not a model of it — by forking
+the engine at each decision point through the ``snapshot_state`` /
+``restore_state`` seam and forcing each runnable transaction in turn
+through the deterministic ``schedule`` override.  The engine's seeded
+rng is replaced by a pinned stand-in (:class:`_ExplorerRng`): backoff
+delays collapse to their minimum (longer delays only defer wakeups,
+which the scheduling choice already enumerates) and stall victims are
+branched over explicitly, so randomness contributes no state.
+
+State-space reduction is sleep-set-free but sound: explored states are
+deduplicated under a canonical key that normalises away everything
+future behaviour cannot depend on (absolute tick via wake/stall deltas,
+absolute seqs via rank, metrics and per-transaction telemetry), so two
+interleavings that reach behaviourally identical engine states merge —
+the partial-order-reduction effect that keeps small configs tractable.
+
+Every terminal (quiesced) state's committed execution is checked with
+the offline Theorem 2 decision procedure.  ``all_correctable`` over a
+*complete* exploration is therefore a proof, not a sample: the
+scheduler admits no incorrect execution of that configuration, under
+any interleaving and any stall resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import ProgramSpec, make_scheduler
+from repro.core.atomicity import check_correctability
+from repro.core.nests import KNest
+from repro.engine.runtime import Engine
+from repro.errors import SpecificationError
+
+__all__ = ["ExplorationReport", "SMALL_CONFIGS", "explore", "make_config"]
+
+
+class _ExplorerRng:
+    """Deterministic stand-in for the engine's seeded rng.
+
+    The engine consumes randomness in exactly two places the explorer
+    must control: the post-rollback backoff draw and the stall-victim
+    pick.  Backoff is pinned to the *minimum* delay — a longer delay
+    only defers a wakeup, and deferral is already enumerated by the
+    explorer's scheduling choice, so delay-1 loses no behaviours while
+    keeping the rng state inert (and out of the state key).  The victim
+    pick honours ``pick`` when the preferred name is in the offered
+    tier, which is how the explorer branches over stall resolutions.
+    """
+
+    __slots__ = ("pick",)
+
+    def __init__(self) -> None:
+        self.pick: str | None = None
+
+    def randint(self, lo: int, hi: int) -> int:
+        return lo
+
+    def choice(self, seq):
+        if self.pick is not None:
+            for item in seq:
+                if getattr(item, "name", item) == self.pick:
+                    return item
+        return seq[0]
+
+    def getstate(self):
+        return ("explorer", self.pick)
+
+    def setstate(self, state) -> None:
+        self.pick = state[1]
+
+
+# ----------------------------------------------------------------------
+# canonical state keys
+# ----------------------------------------------------------------------
+
+
+def _canon(value: Any):
+    if isinstance(value, dict):
+        return tuple(
+            sorted((repr(k), _canon(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(v) for v in value))
+    return repr(value)
+
+
+#: Closure-window blob fields that feed future admission/certification
+#: decisions.  Everything else in the blob is either derived cache (the
+#: incremental live engine, memoised verdicts — functionally determined
+#: by these fields) or telemetry (call counters, wall-clock seconds)
+#: that would make behaviourally identical states hash apart.
+_WINDOW_DECISION_FIELDS = (
+    "steps",
+    "cuts",
+    "access_of",
+    "order",
+    "committed",
+    "shortcut_edges",
+    "commits_since_prune",
+)
+
+
+def _canon_window(blob: bytes):
+    import pickle
+
+    payload = pickle.loads(blob)
+    return tuple(
+        _canon(payload[name]) for name in _WINDOW_DECISION_FIELDS
+    )
+
+
+def _canon_timestamp(snapshot: dict, live_keys: set):
+    """Rank-compress a timestamp-scheduler snapshot.
+
+    Timestamp-order decisions compare only the *relative* order of
+    assigned timestamps (fresh draws always exceed every existing one),
+    so two states whose timestamp assignments are order-isomorphic take
+    identical future decisions.  Entries for dead attempts are dropped:
+    an aborted attempt's key is never queried again, and the values it
+    contributed to the per-entity marks survive in the marks themselves.
+    """
+    live_ts = {
+        key: value
+        for key, value in snapshot["ts"].items()
+        if key in live_keys
+    }
+    marks = snapshot["marks"]
+    values = sorted({
+        0,
+        *live_ts.values(),
+        *(read for _, read, _w in marks),
+        *(write for _, _r, write in marks),
+    })
+    rank = {value: position for position, value in enumerate(values)}
+    return (
+        tuple(sorted(
+            (entity, rank[read], rank[write])
+            for entity, read, write in marks
+        )),
+        tuple(sorted((key, rank[v]) for key, v in live_ts.items())),
+    )
+
+
+def _canon_scheduler(value: Any, live_keys: set):
+    """Canonicalise a scheduler snapshot for the state key: closure
+    window blobs are reduced to their decision-relevant fields,
+    timestamp assignments are rank-compressed, and write-only telemetry
+    counters are dropped (nothing reads them)."""
+    if isinstance(value, dict):
+        if set(value) == {"marks", "ts"}:
+            return _canon_timestamp(value, live_keys)
+        out = []
+        for k, v in sorted(value.items()):
+            if k == "certification_failures":
+                continue
+            if k == "window" and isinstance(v, (bytes, bytearray)):
+                out.append((k, _canon_window(bytes(v))))
+            else:
+                out.append((k, _canon_scheduler(v, live_keys)))
+        return tuple(out)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_scheduler(v, live_keys) for v in value)
+    return _canon(value)
+
+
+def _state_key(state: dict, stall_limit: int):
+    """A canonical, hashable digest of everything the engine's *future*
+    behaviour can depend on.
+
+    Absolute quantities are normalised: wake ticks become deltas from
+    the current tick, the stall clock becomes its distance from firing
+    (capped), and global seqs become ranks — so states reached at
+    different absolute times but with identical futures collide, which
+    is exactly the reduction.  Telemetry (metrics, waits, commit ticks)
+    is excluded: nothing in the tick loop or any scheduler reads it.
+    """
+    tick = state["tick"]
+    store = state["store"]
+    # The store's per-entity access histories are durability telemetry:
+    # nothing in the engine or any scheduler reads them back, so only
+    # the current (and initial) values can influence the future.
+    store_key = (
+        _canon(store["initial"]),
+        tuple(sorted(
+            (name, repr(value))
+            for name, value, _history in store["entities"]
+        )),
+    )
+    seqs = sorted({
+        entry[0] for entry in state["live_log"] + state["committed_log"]
+    })
+    rank = {seq: position for position, seq in enumerate(seqs)}
+    txns = tuple(
+        (
+            saved["name"],
+            saved["attempt"],
+            saved["rollbacks"],
+            saved["committed"],
+            max(0, saved["wake_tick"] - tick),
+            _canon(saved["deps"]),
+            _canon(saved["results_log"]),
+            saved["finished"],
+        )
+        for saved in sorted(state["txns"], key=lambda s: s["name"])
+    )
+    live_keys = {
+        f"{saved['name']}#{saved['attempt']}"
+        for saved in state["txns"]
+        if not saved["committed"]
+    }
+    # The raw timestamp counter is omitted: a fresh draw always exceeds
+    # every assigned value, so only the (rank-compressed) assignments in
+    # the scheduler snapshot can influence future decisions.
+    return (
+        min(tick - state["last_progress"], stall_limit + 1),
+        repr(state["rng"]),
+        _canon(state["schedule"]),
+        store_key,
+        txns,
+        tuple(sorted(state["active"])),
+        tuple(
+            (rank[seq], _canon(key), repr(record))
+            for seq, key, record in state["live_log"]
+        ),
+        tuple(
+            (rank[seq], _canon(key), repr(record))
+            for seq, key, record in state["committed_log"]
+        ),
+        tuple(sorted(
+            (entity, rank[seq], _canon(key))
+            for entity, (seq, key) in state["committed_access"].items()
+        )),
+        _canon(state["last_writer"]),
+        _canon(state["committed_keys"]),
+        tuple(state["commit_order"]),
+        _canon(state["results"]),
+        _canon(state["cut_levels"]),
+        _canon_scheduler(state["scheduler"], live_keys),
+    )
+
+
+# ----------------------------------------------------------------------
+# configurations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Config:
+    """One explorable configuration: programs plus initial values."""
+
+    name: str
+    specs: tuple[ProgramSpec, ...]
+    initial: tuple[tuple[str, Any], ...]
+
+    def nest(self) -> KNest:
+        return KNest.from_paths({s.name: s.path for s in self.specs})
+
+
+def make_config(name, specs, initial) -> _Config:
+    return _Config(
+        name=name,
+        specs=tuple(specs),
+        initial=tuple(sorted(dict(initial).items())),
+    )
+
+
+#: Small canned configurations shared by tests, CI and the E17 bench.
+#: ``mixed-nest`` interleaves two sibling updaters (declared level-2
+#: breakpoints under a 3-level nest) with a singleton auditor — the
+#: paper's shape, where correct interleavings exist that are *not*
+#: serializable.  ``flat-cross`` is the classical 2-nest crossing
+#: read/write pair that an unguarded engine can commit incorrectably.
+SMALL_CONFIGS: tuple[_Config, ...] = (
+    make_config(
+        "mixed-nest",
+        [
+            ProgramSpec(
+                "t1",
+                (("add", "x", -5), ("bp", 2), ("add", "y", 5)),
+                ("fam",),
+            ),
+            ProgramSpec(
+                "t2",
+                (("add", "x", -3), ("bp", 2), ("add", "y", 3)),
+                ("fam",),
+            ),
+            ProgramSpec(
+                "audit",
+                (("read", "x"), ("read", "y")),
+                ("aud",),
+            ),
+        ],
+        {"x": 100, "y": 100},
+    ),
+    make_config(
+        "flat-cross",
+        [
+            ProgramSpec("reader", (("read", "x"), ("read", "y")), ()),
+            ProgramSpec("writer", (("set", "x", 7), ("set", "y", 7)), ()),
+            ProgramSpec("adder", (("add", "y", 1),), ()),
+        ],
+        {"x": 0, "y": 0},
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# the explorer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of exploring one (configuration, scheduler) pair."""
+
+    config: str
+    scheduler: str
+    nodes: int = 0
+    transitions: int = 0
+    terminals: int = 0
+    distinct_histories: int = 0
+    complete: bool = True
+    all_correctable: bool = True
+    restart_bound: int = 0
+    pruned: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "scheduler": self.scheduler,
+            "nodes": self.nodes,
+            "transitions": self.transitions,
+            "terminals": self.terminals,
+            "distinct_histories": self.distinct_histories,
+            "complete": self.complete,
+            "all_correctable": self.all_correctable,
+            "restart_bound": self.restart_bound,
+            "pruned": self.pruned,
+            "violations": list(self.violations),
+        }
+
+
+def explore(
+    config,
+    scheduler: str,
+    seed: int = 0,
+    stall_limit: int = 3,
+    max_nodes: int = 50_000,
+    max_ticks: int = 100_000,
+    restart_bound: int = 4,
+) -> ExplorationReport:
+    """Enumerate every schedule of ``config`` under ``scheduler``.
+
+    ``stall_limit`` is deliberately small: waiting chains longer than it
+    hand the decision to the scheduler's deterministic stall handler, so
+    blocked regions contribute O(candidates x stall_limit) states
+    instead of unbounded wait interleavings.
+
+    ``restart_bound`` caps the total aborts+rollbacks along a path — the
+    explorer's context bound.  Adversarial victim choices can starve one
+    transaction forever (shoot the same victim every stall round, never
+    schedule the lock holder), a livelock the engine's randomised
+    backoff exists to escape; those paths climb attempt counters without
+    ever committing anything new, so the infinite tail proves nothing
+    about correctability.  Paths that exceed the bound are counted in
+    ``pruned`` instead of expanded.  ``complete`` is ``False`` only when
+    ``max_nodes`` was hit — a reported proof always means the frontier
+    was exhausted up to the declared restart bound.
+    """
+    if not isinstance(config, _Config):
+        raise SpecificationError(
+            "explore() takes a configuration from make_config()/"
+            "SMALL_CONFIGS"
+        )
+    nest = config.nest()
+    programs = [spec.compile() for spec in config.specs]
+
+    def fresh_engine() -> Engine:
+        engine = Engine(
+            programs,
+            dict(config.initial),
+            make_scheduler(scheduler, nest),
+            seed=seed,
+            stall_limit=stall_limit,
+            max_ticks=max_ticks,
+        )
+        engine.rng = _ExplorerRng()
+        return engine
+
+    report = ExplorationReport(
+        config=config.name,
+        scheduler=scheduler,
+        restart_bound=restart_bound,
+    )
+    digests: set[str] = set()
+
+    def finish(engine: Engine) -> None:
+        report.terminals += 1
+        result = engine.run(until_tick=engine.tick)
+        digest = result.history_digest()
+        if digest in digests:
+            return
+        digests.add(digest)
+        outcome = check_correctability(
+            result.spec(nest), result.execution.dependency_pairs()
+        )
+        if not outcome.correctable:
+            report.all_correctable = False
+            cycle = outcome.closure.cycle or []
+            report.violations.append(
+                f"{scheduler}/{config.name}: commit order "
+                f"{result.commit_order} closure cycle "
+                + " -> ".join(repr(s) for s in cycle)
+            )
+
+    # Two scratch engines, restored in place thousands of times.  The
+    # ``deep=False`` seam skips the defensive deep copies: every stored
+    # snapshot is built of fresh containers, and the restore symmetric-
+    # ally rebuilds — see ``Engine.snapshot_state``.
+    root = fresh_engine()
+    root_state = root.snapshot_state(deep=False)
+    node_engine = fresh_engine()
+    child_engine = fresh_engine()
+    visited = {_state_key(root_state, stall_limit)}
+    stack = [root_state]
+    while stack:
+        state = stack.pop()
+        report.nodes += 1
+        if report.nodes > max_nodes:
+            report.complete = False
+            break
+        engine = node_engine
+        engine.restore_state(state, deep=False)
+        if not engine._active:
+            finish(engine)
+            continue
+        restarts = sum(
+            t.attempt + t.rollbacks for t in engine.txns.values()
+        )
+        if restarts > restart_bound:
+            report.pruned += 1
+            continue
+        # Advance through candidate-free ticks in place: they consume no
+        # rng and take no decision, so they belong to the edge, not to a
+        # node of their own.
+        wake = min(t.wake_tick for t in engine._active.values())
+        target = max(engine.tick + 1, wake)
+        if target - 1 > engine.tick:
+            engine.advance(until_tick=target - 1)
+        base = engine.snapshot_state(deep=False)
+        stalled = target - engine._last_progress > engine.stall_limit
+        choices = sorted(
+            t.name
+            for t in engine._active.values()
+            if t.wake_tick <= target
+        )
+        for choice in choices:
+            child = child_engine
+            child.restore_state(base, deep=False)
+            if stalled:
+                # The stall handler, not the attention pick, decides
+                # this tick; branch over its victim preference instead.
+                # A scheduler whose handler ignores the rng collapses
+                # these children into one state at dedup.
+                child.rng.pick = choice
+            else:
+                child._schedule = [choice]
+            child.advance(until_tick=target)
+            if not stalled and child._schedule:
+                raise SpecificationError(
+                    f"forced schedule entry {choice!r} was not consumed "
+                    f"at tick {target} (explorer invariant broken)"
+                )
+            child.rng.pick = None
+            report.transitions += 1
+            child_state = child.snapshot_state(deep=False)
+            key = _state_key(child_state, stall_limit)
+            if key in visited:
+                continue
+            visited.add(key)
+            stack.append(child_state)
+    report.distinct_histories = len(digests)
+    return report

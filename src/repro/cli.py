@@ -29,7 +29,14 @@ Commands
     Live dashboard: drive the run in simulated tick batches (or
     simulated-time slices with ``--distributed``) and redraw throughput,
     abort rate, latency percentiles, phase-time bars and per-node
-    message counters after each batch.
+    message counters after each batch.  ``--audit`` attaches the online
+    correctability monitor and adds its row to the dashboard.
+``audit``
+    Import a portable history file (``repro run --history``, ``repro
+    serve --history``, or an external system's export) and classify
+    every transaction against multilevel atomicity, serializability and
+    snapshot isolation, with witness-cycle explanations.  Exit codes are
+    CI-friendly: 0 pass, 1 violation, 2 malformed input.
 
 Everything is seeded and deterministic; pass ``--seed`` to vary.
 """
@@ -86,6 +93,34 @@ def _classify(workload, result):
     )
 
 
+def _workload_initial(workload) -> dict:
+    """The entity initial values a workload seeds its engine with."""
+    values = getattr(workload, "accounts", None)
+    if values is None:
+        values = getattr(workload, "entities", {})
+    return dict(values)
+
+
+def _history_writer(workload, path: str, args):
+    """A streaming JSONL capture sink for one ``repro run`` invocation."""
+    from repro.audit import HistoryWriter, paths_from_nest
+
+    depth, paths = paths_from_nest(
+        workload.nest, sorted(workload.nest.items)
+    )
+    return HistoryWriter(
+        path,
+        initial=_workload_initial(workload),
+        depth=depth,
+        paths=paths,
+        meta={
+            "workload": args.workload,
+            "scheduler": args.scheduler,
+            "seed": args.seed,
+        },
+    )
+
+
 def cmd_schedulers(args) -> int:
     for name in SCHEDULERS:
         print(name)
@@ -96,9 +131,20 @@ def cmd_run(args) -> int:
     import json
 
     workload = _build_workload(args)
-    result = run_workload(workload, args.scheduler, seed=args.seed)
+    writer = None
+    engine_kwargs = {}
+    if args.history:
+        writer = _history_writer(workload, args.history, args)
+        engine_kwargs["history"] = writer
+    result = run_workload(
+        workload, args.scheduler, seed=args.seed, **engine_kwargs
+    )
+    if writer is not None:
+        writer.close()
     report = _classify(workload, result)
     if args.json:
+        from repro.audit import HISTORY_FORMAT_VERSION
+
         payload = result.to_dict()
         payload["workload"] = args.workload
         payload["scheduler"] = args.scheduler
@@ -109,10 +155,17 @@ def cmd_run(args) -> int:
         payload["invariant_violations"] = workload.invariant_violations(
             result
         )
+        if writer is not None:
+            payload["history"] = {
+                "path": writer.path,
+                "format_version": HISTORY_FORMAT_VERSION,
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if report.multilevel_correctable or args.scheduler == "none" else 1
     print(f"workload: {args.workload}, scheduler: {args.scheduler}, "
           f"seed: {args.seed}")
+    if writer is not None:
+        print(f"history: {writer.path}")
     print(f"committed {result.metrics.commits} transactions in "
           f"{result.metrics.ticks} ticks "
           f"(aborts={result.metrics.aborts}, waits={result.metrics.waits})")
@@ -143,6 +196,62 @@ def cmd_sweep(args) -> int:
         rows,
     ))
     return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+
+    from repro.audit import audit_history, load_history
+    from repro.errors import SpecificationError
+
+    try:
+        history = load_history(args.path)
+        report = audit_history(history, conflicts=args.conflicts)
+    except SpecificationError as exc:
+        print(f"audit: {exc}", file=sys.stderr)
+        return 2
+    passed = report.passes(args.require)
+    if args.json:
+        payload = report.to_dict()
+        payload["path"] = args.path
+        payload["require"] = args.require
+        payload["passed"] = passed
+        payload["commits"] = len(history.commit_order)
+        payload["steps"] = len(history.steps)
+        payload["sha256"] = history.digest()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if passed else 1
+    nest_note = (
+        "flat 2-nest (none declared)"
+        if history.depth is None
+        else f"declared {history.depth + 2}-nest"
+    )
+    print(f"history: {args.path}")
+    print(f"  {len(history.commit_order)} commits, {len(history.steps)} "
+          f"steps, {nest_note}, sha256={history.digest()[:12]}…")
+    for criterion in ("multilevel", "serializable", "snapshot_isolation"):
+        ok = report.passes(criterion)
+        mark = "ok " if ok else "VIOLATED"
+        line = f"  {criterion:20s} {mark}"
+        if not ok:
+            line += f"  ({', '.join(report.violating(criterion))})"
+        print(line)
+    rows = [
+        [
+            name,
+            "yes" if verdict["multilevel"] else "NO",
+            "yes" if verdict["serializable"] else "NO",
+            "yes" if verdict["snapshot_isolation"] else "NO",
+        ]
+        for name, verdict in sorted(report.verdicts.items())
+    ]
+    print(format_table(
+        ["transaction", "multilevel", "serializable", "snapshot-iso"], rows
+    ))
+    for axis, lines in sorted(report.witnesses.items()):
+        for line in lines:
+            print(f"  witness [{axis}]: {line}")
+    return 0 if passed else 1
 
 
 def cmd_admission(args) -> int:
@@ -367,6 +476,15 @@ def _engine_frame(args, engine, registry, profiler) -> list[str]:
             f"p95={hist.percentile(0.95)} p99={hist.percentile(0.99)} "
             f"max={hist.max}"
         )
+    checked = registry.value("repro_audit_checked_commits_total")
+    if checked is not None:
+        violations = registry.value("repro_audit_violations_total") or 0
+        lag = registry.value("repro_audit_lag") or 0
+        verdict = "correctable" if not violations else "VIOLATED"
+        lines.append(
+            f"audit: checked={checked} violations={violations} "
+            f"lag={lag}  {verdict}"
+        )
     lines.extend(_phase_lines(profiler))
     return lines
 
@@ -431,9 +549,17 @@ def cmd_top(args) -> int:
               f"commits={result.commits} aborts={result.aborts} "
               f"messages={result.messages}")
         return 0
+    engine_kwargs = {}
+    if getattr(args, "audit", False):
+        from repro.audit import OnlineMonitor
+
+        engine_kwargs["history"] = OnlineMonitor(
+            workload.nest, registry=registry
+        )
     engine = workload.engine(
         make_scheduler(args.scheduler, workload.nest),
         seed=args.seed, registry=registry, profiler=profiler,
+        **engine_kwargs,
     )
     budget = 0
     result = None
@@ -470,6 +596,7 @@ def cmd_serve(args) -> int:
         admission=AdmissionConfig(window=args.window),
         wal_dir=args.wal,
         wal_snapshot_every=args.wal_snapshot_every,
+        history_path=args.history,
     )
 
     async def _run() -> int:
@@ -572,7 +699,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the EngineResult serialization instead of the table",
     )
+    run.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="stream the committed history to this JSONL file as it "
+        "runs (auditable later with `repro audit`)",
+    )
     run.set_defaults(func=cmd_run)
+
+    audit = sub.add_parser(
+        "audit", help="classify a portable history file (CI exit codes)"
+    )
+    audit.add_argument("path", help="history file (JSONL stream or JSON)")
+    audit.add_argument(
+        "--require", choices=["multilevel", "serializable",
+                              "snapshot_isolation"],
+        default="multilevel",
+        help="criterion the history must meet for exit 0 "
+        "(default multilevel)",
+    )
+    audit.add_argument(
+        "--conflicts", choices=["rw", "all"], default="rw",
+        help="conflict model for the graph-based axes (default rw: "
+        "classical, reads commute)",
+    )
+    audit.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON",
+    )
+    audit.set_defaults(func=cmd_audit)
 
     sweep = sub.add_parser("sweep", help="compare every scheduler")
     _add_workload_arguments(sweep)
@@ -668,6 +822,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear", action="store_true",
         help="never clear the screen; print frames sequentially",
     )
+    top.add_argument(
+        "--audit", action="store_true",
+        help="attach the online correctability monitor and show its "
+        "row in the dashboard",
+    )
     top.set_defaults(func=cmd_top)
 
     serve = sub.add_parser(
@@ -704,6 +863,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--wal-snapshot-every", type=int, default=0, metavar="TICKS",
         help="snapshot cadence in ticks (default 0 = never; recovery "
         "then replays the whole log)",
+    )
+    serve.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="stream every commit to this JSONL history file "
+        "(auditable later with `repro audit`)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.core import closure_kernel
 from repro.core.interleaving import InterleavingSpec
+from repro.audit.history import NULL_HISTORY
 from repro.durability.wal import NULL_WAL
 from repro.core.nests import KNest
 from repro.engine.metrics import Metrics
@@ -244,6 +245,7 @@ class Engine:
         registry: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
         wal=None,
+        history=None,
     ) -> None:
         if recovery not in ("transaction", "segment"):
             raise EngineError(f"unknown recovery unit {recovery!r}")
@@ -256,6 +258,11 @@ class Engine:
         # logging never consumes ``self.rng``, so WAL-disabled runs are
         # behaviour-identical to pre-durability builds.
         self.wal = wal if wal is not None else NULL_WAL
+        # The audit-plane capture seam.  Same guarded pattern as the
+        # tracer/WAL: one attribute load + branch per commit when
+        # disabled, and sinks never consume ``self.rng``, so captured
+        # runs are bit-identical to bare runs.
+        self.history = history if history is not None else NULL_HISTORY
         self.metrics = Metrics()
         # The flight recorder.  Defaults to the shared null tracer, whose
         # per-site cost is one attribute load + branch; emission never
@@ -700,6 +707,16 @@ class Engine:
             self._commit_order.append(txn.name)
             self._results[txn.name] = txn.live.result
             self._cut_levels[txn.name] = dict(txn.live.cut_levels)
+            hist = self.history
+            if hist.enabled:
+                hist.on_commit(
+                    txn.name,
+                    txn.attempt,
+                    self.tick,
+                    [(e.seq, e.record) for e in mine],
+                    dict(txn.live.cut_levels),
+                    txn.live.result,
+                )
             self.metrics.record_commit(
                 txn.name, self.tick - txn.arrival_tick, waited=txn.waits
             )
@@ -1187,7 +1204,7 @@ class Engine:
     # durability snapshots
     # ------------------------------------------------------------------
 
-    def snapshot_state(self) -> dict[str, Any]:
+    def snapshot_state(self, deep: bool = True) -> dict[str, Any]:
         """A picklable deep copy of the full dynamic state.
 
         Restoring it onto a freshly constructed engine with the *same*
@@ -1198,6 +1215,14 @@ class Engine:
         themselves (generator functions) are not serialised: the live
         attempts are rebuilt on restore via their ``results_log`` replay
         tapes.
+
+        ``deep=False`` skips the final defensive deep copy.  Every
+        container in the dict is freshly built and step records are
+        immutable by contract, so the only live object a shallow
+        snapshot would alias is ``metrics`` — which is copied one level
+        regardless.  Nested metrics structures may still alias the
+        engine's; callers that never read snapshot telemetry (the audit
+        explorer forks thousands of times per second) opt in for speed.
         """
         txns = [
             {
@@ -1245,19 +1270,32 @@ class Engine:
         }
         # Deep-copied so the snapshot cannot alias state the engine will
         # keep mutating (records are shared immutably within the copy).
-        return copy.deepcopy(state)
+        if deep:
+            return copy.deepcopy(state)
+        state["metrics"] = copy.copy(self.metrics)
+        return state
 
-    def restore_state(self, state: dict[str, Any]) -> None:
+    def restore_state(self, state: dict[str, Any], deep: bool = True) -> None:
         """Restore a :meth:`snapshot_state` dict onto this freshly
-        constructed engine (same programs and configuration)."""
-        state = copy.deepcopy(state)
+        constructed engine (same programs and configuration).
+
+        ``deep=False`` installs from ``state`` without the defensive
+        deep copy; every field is rebuilt into fresh containers below
+        (``metrics`` is copied one level), so the caller's dict is never
+        mutated through the engine — the symmetric fast path to
+        ``snapshot_state(deep=False)``.
+        """
+        if deep:
+            state = copy.deepcopy(state)
         self.tick = state["tick"]
         self._seq = state["seq"]
         self._timestamp = state["timestamp"]
         self._last_progress = state["last_progress"]
         self.rng.setstate(state["rng"])
         self._schedule = list(state["schedule"])
-        self.metrics = state["metrics"]
+        self.metrics = (
+            state["metrics"] if deep else copy.copy(state["metrics"])
+        )
         self.store.restore_state(state["store"])
         known = dict(self.txns)
         self.txns = {}

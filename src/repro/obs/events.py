@@ -65,6 +65,10 @@ EVENT_TAXONOMY: dict[str, tuple[str, ...]] = {
         "closure.rebuild",     # live engine rebuilt from the surviving window
         "closure.prune",       # committed history pruned behind shortcuts
     ),
+    "audit": (
+        "audit.check",         # the online monitor folded in a commit
+        "audit.violation",     # correctability lost, with the witness cycle
+    ),
     "distributed": (
         "msg.send",
         "msg.recv",

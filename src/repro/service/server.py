@@ -39,6 +39,7 @@ from repro.api import (
     envelopes_from_engine,
     make_scheduler,
 )
+from repro.audit.history import HISTORY_FORMAT_VERSION, NULL_HISTORY
 from repro.core.nests import PathNest
 from repro.durability.wal import NULL_WAL
 from repro.engine.runtime import Engine, EngineResult
@@ -84,6 +85,10 @@ class ServiceConfig:
     #: Snapshot cadence in ticks (0 = never; recovery replays the whole
     #: log from genesis).
     wal_snapshot_every: int = 0
+    #: Stream every commit to this JSONL history file (the audit plane's
+    #: portable format; ``None`` captures nothing at null-sink cost).
+    #: After recovery the capture resumes with post-recovery commits.
+    history_path: str | None = None
 
 
 class TransactionService:
@@ -101,6 +106,21 @@ class TransactionService:
         self.profiler = PhaseProfiler()
         self.tracer = RingTracer(capacity=config.trace_capacity)
         self.wal = NULL_WAL
+        self.history = NULL_HISTORY
+        if config.history_path is not None:
+            from repro.audit.history import HistoryWriter
+
+            self.history = HistoryWriter(
+                config.history_path,
+                initial={},
+                depth=config.nest_depth,
+                meta={
+                    "service": True,
+                    "scheduler": config.scheduler,
+                    "seed": config.seed,
+                    "initial_value": config.initial_value,
+                },
+            )
         #: idempotency key -> name, rebuilt from the log at recovery;
         #: resubmissions of these keys are answered from the replayed
         #: engine, never re-executed.
@@ -147,6 +167,7 @@ class TransactionService:
             registry=self.registry,
             profiler=self.profiler,
             wal=self.wal if self.wal.enabled else None,
+            history=self.history if self.history.enabled else None,
         )
         if self.wal.enabled:
             self.wal.log_genesis(
@@ -189,6 +210,17 @@ class TransactionService:
             if "key" in add
         }
         self._resolved = len(report.engine.commit_order)
+        if self.history.enabled:
+            # Capture resumes post-recovery: replay is not re-recorded,
+            # but recovered in-flight transactions may still commit, so
+            # their nest paths must be known to the writer.
+            for add in report.adds:
+                spec = add.get("spec")
+                if spec is not None:
+                    self.history.declare_path(
+                        spec["name"], tuple(spec.get("path", ()))
+                    )
+            report.engine.history = self.history
         return report.nest, report.engine
 
     def _bind_metrics(self) -> dict[str, Any]:
@@ -303,6 +335,8 @@ class TransactionService:
         for entity in sorted(spec.entities):
             self.engine.store.declare(entity, self.config.initial_value)
         self.nest.add(spec.name, spec.path)
+        if self.history.enabled:
+            self.history.declare_path(spec.name, spec.path)
         state = self.engine.add_program(spec.compile())
         self.arrivals[spec.name] = state.arrival_tick
         if self.wal.enabled:
@@ -390,6 +424,11 @@ class TransactionService:
                 "directory": self.wal.directory,
                 "offset": self.wal.log.tell(),
                 "recovered": len(self._recovered_keys),
+            }
+        if self.history.enabled:
+            report["history"] = {
+                "path": self.history.path,
+                "format_version": HISTORY_FORMAT_VERSION,
             }
         return report
 
@@ -633,4 +672,5 @@ async def serve(
     await server.serve_until_shutdown()
     service.wal.sync()
     service.wal.close()
+    service.history.close()
     return service

@@ -1,0 +1,61 @@
+"""Shared helpers for the audit-plane tests.
+
+``run_specs`` drives the real engine over declarative programs with an
+optional history sink attached — the same seam the CLI and service use —
+and returns the result alongside the nest so tests can cross-check the
+captured history against the engine's own view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ProgramSpec, make_scheduler
+from repro.core.nests import KNest
+from repro.engine import Engine
+
+SCHEDULERS = ("serial", "2pl", "timestamp", "mla-detect", "mla-prevent",
+              "mla-nested-lock")
+
+
+def run_specs(specs, initial, scheduler="mla-detect", seed=0, history=None):
+    nest = KNest.from_paths({s.name: s.path for s in specs})
+    engine = Engine(
+        [s.compile() for s in specs],
+        dict(initial),
+        make_scheduler(scheduler, nest),
+        seed=seed,
+        history=history,
+    )
+    return engine.run(), nest
+
+
+def recorder_for(specs, initial, meta=None):
+    """A HistoryRecorder pre-declared with every spec's nest path."""
+    from repro.audit import HistoryRecorder
+
+    depth = len(specs[0].path)
+    recorder = HistoryRecorder(initial=dict(initial), depth=depth, meta=meta)
+    for spec in specs:
+        recorder.declare_path(spec.name, spec.path)
+    return recorder
+
+
+@pytest.fixture()
+def mixed_specs():
+    """The paper's shape: two sibling updaters with level-2 breakpoints
+    plus a singleton auditor — admits correct non-serializable runs."""
+    return (
+        ProgramSpec(
+            "t1", (("add", "x", -5), ("bp", 2), ("add", "y", 5)), ("fam",)
+        ),
+        ProgramSpec(
+            "t2", (("add", "x", -3), ("bp", 2), ("add", "y", 3)), ("fam",)
+        ),
+        ProgramSpec("audit", (("read", "x"), ("read", "y")), ("aud",)),
+    )
+
+
+@pytest.fixture()
+def mixed_initial():
+    return {"x": 100, "y": 100}
